@@ -1,0 +1,38 @@
+# milliScope reproduction — common targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-short race bench cover experiment clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full suite, including the 45s soak trial and saturation sweep.
+test:
+	$(GO) test ./...
+
+# Skips the soak and saturation tests.
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerates every paper figure and ablation; writes bench_output.txt.
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+cover:
+	$(GO) test -short -cover ./...
+
+# One-command reproduction of the whole evaluation (ASCII figures).
+experiment:
+	$(GO) run ./cmd/mscope experiment --out /tmp/mscope-exp
+
+clean:
+	rm -rf /tmp/mscope-exp

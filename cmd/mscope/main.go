@@ -1,0 +1,403 @@
+// Command mscope is the milliScope driver: it runs monitored trials on
+// the simulated testbed, pushes their logs through the transformation
+// pipeline into mScopeDB, and serves queries and figure reports.
+//
+// Usage:
+//
+//	mscope run --scenario dbio --out logs/            run a trial, write logs
+//	mscope ingest --logs logs/ --work work/ --db w.db transform + load
+//	mscope tables --db w.db                           list warehouse tables
+//	mscope query --db w.db 'SELECT ... FROM ...'      run an MQL query
+//	mscope report --db w.db --figure fig2             render a figure
+//	mscope experiment --out exp/                      regenerate everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/gt-elba/milliscope"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mscope:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("no command")
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:])
+	case "ingest":
+		return cmdIngest(args[1:])
+	case "plan":
+		return cmdPlan(args[1:])
+	case "tables":
+		return cmdTables(args[1:])
+	case "query":
+		return cmdQuery(args[1:])
+	case "report":
+		return cmdReport(args[1:])
+	case "diagnose":
+		return cmdDiagnose(args[1:])
+	case "trace":
+		return cmdTrace(args[1:])
+	case "experiment":
+		return cmdExperiment(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `mscope — milliScope driver
+
+commands:
+  run        run a monitored trial (writes monitor logs + network trace)
+  ingest     transform a log directory and load it into a warehouse file
+  plan       write the default Parsing Declaration as editable JSON
+  tables     list warehouse tables
+  query      run an MQL query against a warehouse file
+  report     render a paper figure from a warehouse file
+  diagnose   detect VLRT windows and name their root causes
+  trace      render one request's causal path (Figure 5)
+  experiment run + ingest + report for every paper figure`)
+}
+
+// scenarioConfig builds the experiment for a named scenario.
+func scenarioConfig(name, out string, users int, duration time.Duration, seed int64) (milliscope.ExperimentConfig, error) {
+	var cfg milliscope.ExperimentConfig
+	switch name {
+	case "dbio":
+		cfg = milliscope.ScenarioDBIO(out)
+	case "dirtypage":
+		cfg = milliscope.ScenarioDirtyPage(out)
+	case "jvmgc":
+		cfg = milliscope.ScenarioJVMGC(out)
+	case "dvfs":
+		cfg = milliscope.ScenarioDVFS(out)
+	case "accuracy":
+		if users == 0 {
+			users = 8000
+		}
+		if duration == 0 {
+			duration = 20 * time.Second
+		}
+		cfg = milliscope.ScenarioAccuracy(out, users, duration)
+	default:
+		return cfg, fmt.Errorf("unknown scenario %q (dbio, dirtypage, jvmgc, dvfs, accuracy)", name)
+	}
+	if users != 0 {
+		cfg.Ntier.Users = users
+	}
+	if duration != 0 {
+		cfg.Ntier.Duration = duration
+	}
+	if seed != 0 {
+		cfg.Ntier.Seed = seed
+	}
+	return cfg, nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	scenario := fs.String("scenario", "dbio", "dbio | dirtypage | jvmgc | dvfs | accuracy")
+	out := fs.String("out", "", "log output directory (required)")
+	users := fs.Int("users", 0, "override concurrent users")
+	duration := fs.Duration("duration", 0, "override trial duration")
+	seed := fs.Int64("seed", 0, "override random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("run: --out is required")
+	}
+	cfg, err := scenarioConfig(*scenario, *out, *users, *duration, *seed)
+	if err != nil {
+		return err
+	}
+	res, err := milliscope.RunExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("experiment %s: %s\n", cfg.Name, res.Stats)
+	if res.Capture != nil {
+		trace := filepath.Join(*out, "trace.csv")
+		if err := res.Capture.WriteCSV(trace); err != nil {
+			return err
+		}
+		fmt.Printf("network trace: %s (%d messages)\n", trace, res.Capture.Len())
+	}
+	fmt.Printf("monitor logs in %s\n", *out)
+	return nil
+}
+
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
+	out := fs.String("out", "", "output JSON path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("plan: --out is required")
+	}
+	if err := milliscope.DefaultPlan().Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("default Parsing Declaration written to %s — edit it and pass\n"+
+		"--plan to `mscope ingest` to route custom log formats\n", *out)
+	return nil
+}
+
+func cmdIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ContinueOnError)
+	logs := fs.String("logs", "", "log directory (required)")
+	work := fs.String("work", "", "work directory for XML/CSV stages (required)")
+	dbPath := fs.String("db", "", "output warehouse file (required)")
+	planPath := fs.String("plan", "", "custom Parsing Declaration JSON (default: built-in)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logs == "" || *work == "" || *dbPath == "" {
+		return fmt.Errorf("ingest: --logs, --work and --db are required")
+	}
+	db := milliscope.OpenDB()
+	rep, err := ingestDir(db, *logs, *work, *planPath)
+	if err != nil {
+		return err
+	}
+	for _, f := range rep.Files {
+		fmt.Printf("  %-28s → %-22s %8d entries (%s)\n",
+			filepath.Base(f.Input), f.Table, f.Entries, f.Parser)
+	}
+	for _, s := range rep.Skipped {
+		fmt.Printf("  %-28s skipped (no declaration)\n", s)
+	}
+	fmt.Printf("loaded %d rows into %d tables\n", rep.TotalRows(), len(rep.Loads))
+	if consistency, err := milliscope.ValidateWarehouse(db); err == nil {
+		fmt.Println(consistency.Summary())
+	}
+	if err := db.Save(*dbPath); err != nil {
+		return err
+	}
+	fmt.Printf("warehouse saved to %s\n", *dbPath)
+	return nil
+}
+
+func cmdTables(args []string) error {
+	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "warehouse file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" {
+		return fmt.Errorf("tables: --db is required")
+	}
+	db, err := milliscope.LoadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	for _, name := range db.TableNames() {
+		tbl, err := db.Table(name)
+		if err != nil {
+			return err
+		}
+		var cols []string
+		for _, c := range tbl.Columns() {
+			cols = append(cols, fmt.Sprintf("%s:%s", c.Name, c.Type))
+		}
+		fmt.Printf("%-24s %8d rows  (%s)\n", name, tbl.Rows(), strings.Join(cols, ", "))
+	}
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "warehouse file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" || fs.NArg() != 1 {
+		return fmt.Errorf("query: usage: mscope query --db FILE 'SELECT ...'")
+	}
+	db, err := milliscope.LoadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	out, err := milliscope.Query(db, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Println(strings.Join(out.Cols, "\t"))
+	for _, row := range out.Rows {
+		fmt.Println(strings.Join(row, "\t"))
+	}
+	fmt.Printf("(%d rows)\n", len(out.Rows))
+	return nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "warehouse file (required)")
+	figure := fs.String("figure", "fig2", "fig2 | fig4 | fig6 | fig7 | fig8 | fig9")
+	trace := fs.String("trace", "", "network trace CSV (required for fig9)")
+	window := fs.Duration("window", 50*time.Millisecond, "analysis window")
+	width := fs.Int("width", 96, "chart width")
+	height := fs.Int("height", 16, "chart height")
+	format := fs.String("format", "chart", "chart | table | csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" {
+		return fmt.Errorf("report: --db is required")
+	}
+	db, err := milliscope.LoadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	figs, err := buildFigures(db, *figure, *trace, *window)
+	if err != nil {
+		return err
+	}
+	for _, f := range figs {
+		switch *format {
+		case "chart":
+			err = f.Render(os.Stdout, *width, *height)
+		case "table":
+			err = f.RenderTable(os.Stdout, 40)
+		case "csv":
+			err = f.WriteCSV(os.Stdout)
+		default:
+			return fmt.Errorf("report: unknown format %q", *format)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdDiagnose(args []string) error {
+	fs := flag.NewFlagSet("diagnose", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "warehouse file (required)")
+	window := fs.Duration("window", 50*time.Millisecond, "analysis window")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" {
+		return fmt.Errorf("diagnose: --db is required")
+	}
+	db, err := milliscope.LoadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	diag, err := milliscope.Diagnose(db, *window)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("requests=%d avgRT=%.2fms maxRT=%.2fms peak/avg=%.1fx\n",
+		diag.PIT.Requests, diag.PIT.AvgUS/1000, diag.PIT.MaxUS/1000, diag.PIT.PeakFactor())
+	if len(diag.Windows) == 0 {
+		fmt.Println("no very-long-response-time windows detected")
+		return nil
+	}
+	for i, wd := range diag.Windows {
+		fmt.Printf("\nVLRT window %d: duration=%v peakRT=%.1fms\n",
+			i+1, wd.Window.Duration().Round(time.Millisecond), wd.Window.Peak/1000)
+		fmt.Printf("  queues grew: %v (cross-tier=%v)\n", wd.Pushback.Grew, wd.Pushback.CrossTier)
+		for j, c := range wd.Causes {
+			if j >= 4 {
+				break
+			}
+			fmt.Printf("  candidate %d: %-14s r=%+.3f peak=%.1f\n",
+				j+1, c.Name, c.Correlation, c.PeakInWindow)
+		}
+		fmt.Printf("  verdict: %s\n", wd.Verdict)
+	}
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "warehouse file (required)")
+	req := fs.String("req", "", "request ID; default: the slowest request")
+	width := fs.Int("width", 80, "swimlane width")
+	breakdown := fs.Bool("breakdown", false, "print the aggregate per-tier latency profile")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" {
+		return fmt.Errorf("trace: --db is required")
+	}
+	db, err := milliscope.LoadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	traces, err := milliscope.BuildTraces(db)
+	if err != nil {
+		return err
+	}
+	if *breakdown {
+		prof := milliscope.AggregateBreakdown(traces)
+		fmt.Printf("per-tier latency profile over %d traces:\n", len(traces))
+		fmt.Println("  tier      visits   mean-local   p99-local    mean-residence")
+		for _, tier := range milliscope.Tiers {
+			p, ok := prof[tier]
+			if !ok {
+				continue
+			}
+			fmt.Printf("  %-8s %7d %12v %12v %12v\n", tier, p.Visits,
+				p.MeanLocal.Round(time.Microsecond),
+				p.P99Local.Round(time.Microsecond),
+				p.MeanResidence.Round(time.Microsecond))
+		}
+		fmt.Println()
+	}
+	id := *req
+	if id == "" {
+		out, err := milliscope.Query(db,
+			"SELECT reqid FROM apache_event ORDER BY rt_us DESC LIMIT 1")
+		if err != nil {
+			return err
+		}
+		if len(out.Rows) == 0 {
+			return fmt.Errorf("trace: warehouse has no requests")
+		}
+		id = out.Rows[0][0]
+	}
+	tr, ok := traces[id]
+	if !ok {
+		return fmt.Errorf("trace: no trace for request %q", id)
+	}
+	return milliscope.RenderTrace(os.Stdout, tr, *width)
+}
+
+func cmdExperiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	out := fs.String("out", "", "base output directory (required)")
+	scale := fs.Float64("scale", 1.0, "duration scale factor for quick runs")
+	width := fs.Int("width", 96, "chart width")
+	height := fs.Int("height", 14, "chart height")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("experiment: --out is required")
+	}
+	return regenerateAll(*out, *scale, *width, *height)
+}

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/gt-elba/milliscope"
+)
+
+func TestScenarioConfigResolution(t *testing.T) {
+	cfg, err := scenarioConfig("dbio", "/tmp/x", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "dbio-vsb" || cfg.LogDir != "/tmp/x" {
+		t.Fatalf("cfg %+v", cfg)
+	}
+	cfg, err = scenarioConfig("dirtypage", "/tmp/x", 500, 3*time.Second, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Ntier.Users != 500 || cfg.Ntier.Duration != 3*time.Second || cfg.Ntier.Seed != 99 {
+		t.Fatalf("overrides not applied: %+v", cfg.Ntier)
+	}
+	cfg, err = scenarioConfig("accuracy", "/tmp/x", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Ntier.Users != 8000 || !cfg.CaptureNet {
+		t.Fatalf("accuracy defaults: %+v", cfg.Ntier)
+	}
+	for _, name := range []string{"jvmgc", "dvfs"} {
+		cfg, err := scenarioConfig(name, "/tmp/x", 0, 0, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(cfg.Injectors) == 0 {
+			t.Fatalf("%s scenario has no injectors", name)
+		}
+	}
+	if _, err := scenarioConfig("nope", "/tmp/x", 0, 0, 0); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestCommandDispatchErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("empty args accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Fatalf("help errored: %v", err)
+	}
+	if err := run([]string{"run"}); err == nil {
+		t.Fatal("run without --out accepted")
+	}
+	if err := run([]string{"ingest"}); err == nil {
+		t.Fatal("ingest without flags accepted")
+	}
+	if err := run([]string{"query", "--db", "/nope.db", "SELECT 1"}); err == nil {
+		t.Fatal("query against missing db accepted")
+	}
+	if err := run([]string{"report"}); err == nil {
+		t.Fatal("report without --db accepted")
+	}
+	if err := run([]string{"diagnose"}); err == nil {
+		t.Fatal("diagnose without --db accepted")
+	}
+	if err := run([]string{"trace"}); err == nil {
+		t.Fatal("trace without --db accepted")
+	}
+	if err := run([]string{"experiment"}); err == nil {
+		t.Fatal("experiment without --out accepted")
+	}
+}
+
+// TestCLIPipeline exercises run → ingest → tables/query/report/diagnose/
+// trace against real files, without spawning processes.
+func TestCLIPipeline(t *testing.T) {
+	base := t.TempDir()
+	logs := filepath.Join(base, "logs")
+	work := filepath.Join(base, "work")
+	dbPath := filepath.Join(base, "w.db")
+
+	if err := run([]string{"run", "--scenario", "dbio", "--out", logs,
+		"--users", "80", "--duration", "8s"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"ingest", "--logs", logs, "--work", work, "--db", dbPath}); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if _, err := os.Stat(dbPath); err != nil {
+		t.Fatalf("warehouse not written: %v", err)
+	}
+	for _, args := range [][]string{
+		{"tables", "--db", dbPath},
+		{"query", "--db", dbPath, "SELECT reqid FROM apache_event LIMIT 2"},
+		{"report", "--db", dbPath, "--figure", "fig2", "--width", "40", "--height", "6"},
+		{"report", "--db", dbPath, "--figure", "fig6", "--width", "40", "--height", "6"},
+		{"diagnose", "--db", dbPath},
+		{"trace", "--db", dbPath, "--width", "50", "--breakdown"},
+	} {
+		if err := run(args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+	if err := run([]string{"report", "--db", dbPath, "--figure", "fig9"}); err == nil {
+		t.Fatal("fig9 without --trace accepted")
+	}
+	if err := run([]string{"report", "--db", dbPath, "--figure", "nope"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	// CSV and table report formats.
+	if err := run([]string{"report", "--db", dbPath, "--figure", "fig2", "--format", "csv"}); err != nil {
+		t.Fatalf("csv report: %v", err)
+	}
+	if err := run([]string{"report", "--db", dbPath, "--figure", "fig2", "--format", "nope"}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+// TestCLIPlanRoundTrip: dump the declaration, use it explicitly for ingest.
+func TestCLIPlanRoundTrip(t *testing.T) {
+	base := t.TempDir()
+	planPath := filepath.Join(base, "plan.json")
+	if err := run([]string{"plan", "--out", planPath}); err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	if _, err := os.Stat(planPath); err != nil {
+		t.Fatal(err)
+	}
+	logs := filepath.Join(base, "logs")
+	if err := run([]string{"run", "--scenario", "dbio", "--out", logs,
+		"--users", "30", "--duration", "2s"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	dbPath := filepath.Join(base, "w.db")
+	if err := run([]string{"ingest", "--logs", logs, "--work", filepath.Join(base, "work"),
+		"--db", dbPath, "--plan", planPath}); err != nil {
+		t.Fatalf("ingest with plan: %v", err)
+	}
+	if err := run([]string{"ingest", "--logs", logs, "--work", filepath.Join(base, "work2"),
+		"--db", filepath.Join(base, "w2.db"), "--plan", filepath.Join(base, "nope.json")}); err == nil {
+		t.Fatal("missing plan file accepted")
+	}
+}
+
+// TestCLIAccuracyTraceRoundTrip verifies the netcap trace file path feeds
+// fig9 reporting.
+func TestCLIAccuracyTraceRoundTrip(t *testing.T) {
+	base := t.TempDir()
+	logs := filepath.Join(base, "logs")
+	work := filepath.Join(base, "work")
+	dbPath := filepath.Join(base, "w.db")
+	if err := run([]string{"run", "--scenario", "accuracy", "--out", logs,
+		"--users", "500", "--duration", "5s"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	trace := filepath.Join(logs, "trace.csv")
+	if _, err := os.Stat(trace); err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	if err := run([]string{"ingest", "--logs", logs, "--work", work, "--db", dbPath}); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if err := run([]string{"report", "--db", dbPath, "--figure", "fig9",
+		"--trace", trace, "--width", "40", "--height", "6"}); err != nil {
+		t.Fatalf("fig9 report: %v", err)
+	}
+}
+
+func TestBuildFiguresAgainstWarehouse(t *testing.T) {
+	cfg := milliscope.ScenarioDBIO(t.TempDir())
+	cfg.Ntier.Users = 60
+	cfg.Ntier.Duration = 8 * time.Second
+	res, err := milliscope.RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _, err := res.Ingest(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig2", "fig4", "fig6", "fig7", "fig8"} {
+		figs, err := buildFigures(db, name, "", 50*time.Millisecond)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(figs) == 0 {
+			t.Fatalf("%s produced no figures", name)
+		}
+	}
+}

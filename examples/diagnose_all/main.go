@@ -1,0 +1,73 @@
+// Diagnose-all: the same symptom — a sub-second Point-in-Time response
+// time spike — produced by four different root causes (the paper's two
+// scenarios plus two causes from its related-work list), each correctly
+// named by milliScope's diagnosis pipeline:
+//
+//   - a database redo-log flush seizing the DB disk      → disk-io @ mysql
+//   - dirty-page recycling saturating the web node's CPU → dirty-page @ apache
+//   - a JVM stop-the-world collection on the app node    → cpu-saturation @ tomcat
+//   - DVFS downclocking the DB node                      → dvfs @ mysql
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/gt-elba/milliscope"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "diagnose_all:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	base, err := os.MkdirTemp("", "mscope-diagnose-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(base)
+
+	scenarios := []struct {
+		label string
+		cfg   milliscope.ExperimentConfig
+	}{
+		{"DB redo-log flush", milliscope.ScenarioDBIO(filepath.Join(base, "dbio"))},
+		{"dirty-page recycling", milliscope.ScenarioDirtyPage(filepath.Join(base, "dirty"))},
+		{"JVM stop-the-world GC", milliscope.ScenarioJVMGC(filepath.Join(base, "gc"))},
+		{"DVFS downclock", milliscope.ScenarioDVFS(filepath.Join(base, "dvfs"))},
+	}
+	for _, sc := range scenarios {
+		fmt.Printf("── injected fault: %-24s (experiment %q)\n", sc.label, sc.cfg.Name)
+		res, err := milliscope.RunExperiment(sc.cfg)
+		if err != nil {
+			return err
+		}
+		db, _, err := res.Ingest(filepath.Join(base, sc.cfg.Name+"-work"))
+		if err != nil {
+			return err
+		}
+		diag, err := milliscope.Diagnose(db, 50*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   avg RT %.1f ms, PIT peak %.1fx the average\n",
+			diag.PIT.AvgUS/1000, diag.PIT.PeakFactor())
+		if len(diag.Windows) == 0 {
+			fmt.Println("   no VLRT window detected")
+			continue
+		}
+		for i, wd := range diag.Windows {
+			fmt.Printf("   window %d: queues grew at %v → verdict: %s\n",
+				i+1, wd.Pushback.Grew, wd.Verdict)
+		}
+		fmt.Println()
+	}
+	fmt.Println("four identical-looking latency spikes, four different named causes —")
+	fmt.Println("the integration of event and resource monitors is what tells them apart.")
+	return nil
+}

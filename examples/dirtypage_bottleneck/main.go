@@ -1,0 +1,67 @@
+// Scenario B (paper Section V-B): two look-alike response time peaks that
+// turn out to have a different shape — the first saturates only Apache
+// (dirty-page recycling on the web node), the second saturates Tomcat and
+// pushes back to Apache. milliScope tells them apart via queue growth
+// (Figure 8b), CPU saturation (8c) and the dirty-page collapse (8d).
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/gt-elba/milliscope"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dirtypage_bottleneck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	base, err := os.MkdirTemp("", "mscope-dirtypage-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(base)
+
+	cfg := milliscope.ScenarioDirtyPage(filepath.Join(base, "logs"))
+	fmt.Printf("running scenario %q (dirty-page surges on apache@4s, tomcat@6.5s)...\n", cfg.Name)
+	res, err := milliscope.RunExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("trial:", res.Stats)
+	db, _, err := res.Ingest(filepath.Join(base, "work"))
+	if err != nil {
+		return err
+	}
+
+	figs, stats, err := milliscope.Fig8DirtyPage(db, 50*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	for _, f := range figs {
+		if err := f.Render(os.Stdout, 90, 12); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("→ %d response-time peaks detected (avg RT %.1f ms, peak factor %.1fx)\n",
+		len(stats.VLRTWindows), stats.PIT.AvgUS/1000, stats.PIT.PeakFactor())
+	for i, pb := range stats.Pushback {
+		verdict := "single-tier (web node recycling)"
+		if pb.CrossTier {
+			verdict = "cross-tier pushback (app node recycling)"
+		}
+		fmt.Printf("  peak %d: queues grew at %v → %s\n", i+1, pb.Grew, verdict)
+	}
+	fmt.Println("\ndiagnosis: both peaks are dirty-page recycling episodes, on different nodes —")
+	fmt.Println("the same symptom (a ~1s PIT spike) with two distinct root causes, which is")
+	fmt.Println("exactly why the paper integrates event and resource monitors in one warehouse.")
+	return nil
+}

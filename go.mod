@@ -1,0 +1,3 @@
+module github.com/gt-elba/milliscope
+
+go 1.22

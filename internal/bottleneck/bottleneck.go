@@ -1,0 +1,208 @@
+// Package bottleneck injects very short bottlenecks (VSBs) into the
+// simulated testbed. The paper's two illustrative scenarios are driven by
+// the first two injectors — a database redo-log flush seizing the DB disk
+// (Section V-A) and dirty-page recycling saturating a node's CPU (Section
+// V-B). The JVM garbage-collection and DVFS injectors reproduce two further
+// root causes the paper's related-work discussion lists, so analyses can be
+// exercised against a wider cause population.
+package bottleneck
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/des"
+	"github.com/gt-elba/milliscope/internal/ntier"
+	"github.com/gt-elba/milliscope/internal/resources"
+)
+
+// Injector schedules a fault into an assembled system before the run starts.
+type Injector interface {
+	// Inject arms the fault on the system.
+	Inject(sys *ntier.System)
+	// Describe returns a human-readable summary for experiment records.
+	Describe() string
+}
+
+// DBLogFlush seizes the database disk with one long sequential redo-log
+// write starting at At and lasting approximately Duration. Queries needing
+// the disk (commits, buffer-pool misses) queue behind it; blocked MySQL
+// workers back requests up through C-JDBC, Tomcat and Apache — the
+// cross-tier pushback of Figures 2/4/6/7.
+type DBLogFlush struct {
+	At       des.Time
+	Duration time.Duration
+}
+
+var _ Injector = DBLogFlush{}
+
+// Inject arms the flush.
+func (f DBLogFlush) Inject(sys *ntier.System) {
+	if f.Duration <= 0 {
+		panic(fmt.Sprintf("bottleneck: non-positive flush duration %v", f.Duration))
+	}
+	disk := sys.DB.Node().Disk
+	cfg := sys.Config().DB.Node.Disk
+	// Issue the flush as chunks so disk counters advance through the
+	// episode; chunks are queued back-to-back and hold the spindle for
+	// ~Duration in total.
+	const chunkBytes = 1 << 20
+	chunkTime := cfg.SeekTime +
+		time.Duration(float64(chunkBytes)/(cfg.BandwidthMBps*1e6)*float64(time.Second))
+	chunks := int(f.Duration / chunkTime)
+	if chunks < 1 {
+		chunks = 1
+	}
+	sys.Eng.At(f.At, func() {
+		for i := 0; i < chunks; i++ {
+			disk.WriteAsync(chunkBytes)
+		}
+	})
+}
+
+// Describe summarizes the fault.
+func (f DBLogFlush) Describe() string {
+	return fmt.Sprintf("db-log-flush at=%v dur=%v", time.Duration(f.At), f.Duration)
+}
+
+// PeriodicDBLogFlush schedules recurring redo-log flushes: the natural
+// behaviour the paper observed, where accumulated redo pages are flushed
+// every so often and each flush is a fresh very short bottleneck. Count
+// flushes fire at Start, Start+Period, ...
+type PeriodicDBLogFlush struct {
+	Start    des.Time
+	Period   time.Duration
+	Duration time.Duration
+	Count    int
+}
+
+var _ Injector = PeriodicDBLogFlush{}
+
+// Inject arms every occurrence.
+func (f PeriodicDBLogFlush) Inject(sys *ntier.System) {
+	if f.Count <= 0 || f.Period <= 0 {
+		panic(fmt.Sprintf("bottleneck: periodic flush count=%d period=%v", f.Count, f.Period))
+	}
+	for i := 0; i < f.Count; i++ {
+		DBLogFlush{At: f.Start + des.Time(i)*des.Time(f.Period), Duration: f.Duration}.Inject(sys)
+	}
+}
+
+// Describe summarizes the fault.
+func (f PeriodicDBLogFlush) Describe() string {
+	return fmt.Sprintf("periodic-db-log-flush start=%v period=%v dur=%v count=%d",
+		time.Duration(f.Start), f.Period, f.Duration, f.Count)
+}
+
+// DirtyPageSurge dirties a burst of page-cache pages on the named node at
+// time At, pushing the dirty size past the high watermark so the kernel
+// flusher activates and saturates the node's CPU while recycling — the
+// paper's second VSB root cause. The episode length is
+// (BurstKB - LowWaterKB) / DrainKBps of the node's memory configuration.
+type DirtyPageSurge struct {
+	Node    string
+	At      des.Time
+	BurstKB int
+}
+
+var _ Injector = DirtyPageSurge{}
+
+// Inject arms the surge.
+func (s DirtyPageSurge) Inject(sys *ntier.System) {
+	srv := sys.ServerByName(s.Node)
+	if srv == nil {
+		panic(fmt.Sprintf("bottleneck: unknown node %q", s.Node))
+	}
+	if s.BurstKB <= 0 {
+		panic(fmt.Sprintf("bottleneck: non-positive burst %dKB", s.BurstKB))
+	}
+	mem := srv.Node().Mem
+	sys.Eng.At(s.At, func() {
+		mem.Dirty(s.BurstKB * 1024)
+		// If the burst alone does not cross the watermark, force the
+		// episode: the scenario scripts position episodes deterministically.
+		if !mem.Flushing() {
+			mem.ForceFlush()
+		}
+	})
+}
+
+// Describe summarizes the fault.
+func (s DirtyPageSurge) Describe() string {
+	return fmt.Sprintf("dirty-page-surge node=%s at=%v burst=%dKB",
+		s.Node, time.Duration(s.At), s.BurstKB)
+}
+
+// JVMGC models a stop-the-world garbage collection on the named (Java)
+// node: at time At it submits one system-mode task per core, each holding
+// its core for Pause, so application work queues behind the collector.
+type JVMGC struct {
+	Node  string
+	At    des.Time
+	Pause time.Duration
+}
+
+var _ Injector = JVMGC{}
+
+// Inject arms the collection.
+func (g JVMGC) Inject(sys *ntier.System) {
+	srv := sys.ServerByName(g.Node)
+	if srv == nil {
+		panic(fmt.Sprintf("bottleneck: unknown node %q", g.Node))
+	}
+	if g.Pause <= 0 {
+		panic(fmt.Sprintf("bottleneck: non-positive GC pause %v", g.Pause))
+	}
+	node := srv.Node()
+	sys.Eng.At(g.At, func() {
+		for i := 0; i < node.CPU.Cores(); i++ {
+			node.CPU.Exec(g.Pause, resources.ModeSystem, nil)
+		}
+	})
+}
+
+// Describe summarizes the fault.
+func (g JVMGC) Describe() string {
+	return fmt.Sprintf("jvm-gc node=%s at=%v pause=%v", g.Node, time.Duration(g.At), g.Pause)
+}
+
+// DVFS models dynamic voltage/frequency scaling mistakenly downclocking a
+// node: between At and At+Duration the CPU runs at Speed (< 1.0 slows it).
+type DVFS struct {
+	Node     string
+	At       des.Time
+	Duration time.Duration
+	Speed    float64
+}
+
+var _ Injector = DVFS{}
+
+// Inject arms the downclock window.
+func (d DVFS) Inject(sys *ntier.System) {
+	srv := sys.ServerByName(d.Node)
+	if srv == nil {
+		panic(fmt.Sprintf("bottleneck: unknown node %q", d.Node))
+	}
+	if d.Speed <= 0 {
+		panic(fmt.Sprintf("bottleneck: non-positive DVFS speed %v", d.Speed))
+	}
+	if d.Duration <= 0 {
+		panic(fmt.Sprintf("bottleneck: non-positive DVFS window %v", d.Duration))
+	}
+	cpu := srv.Node().CPU
+	sys.Eng.At(d.At, func() { cpu.SetSpeed(d.Speed) })
+	sys.Eng.At(d.At+des.Time(d.Duration), func() { cpu.SetSpeed(1.0) })
+}
+
+// Describe summarizes the fault.
+func (d DVFS) Describe() string {
+	return fmt.Sprintf("dvfs node=%s at=%v dur=%v speed=%.2f",
+		d.Node, time.Duration(d.At), d.Duration, d.Speed)
+}
+
+// InjectAll arms every injector on the system.
+func InjectAll(sys *ntier.System, injectors []Injector) {
+	for _, in := range injectors {
+		in.Inject(sys)
+	}
+}

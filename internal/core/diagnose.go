@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/analysis"
+	"github.com/gt-elba/milliscope/internal/metrics"
+	"github.com/gt-elba/milliscope/internal/mscopedb"
+	"github.com/gt-elba/milliscope/internal/resources"
+)
+
+// CauseKind classifies a diagnosed root cause.
+type CauseKind int
+
+// Root-cause classes milliScope distinguishes (the paper's Section V
+// scenarios plus the related-work causes its design anticipates).
+const (
+	CauseUnknown CauseKind = iota
+	// CauseDiskIO: a disk seizure (e.g. the DB redo-log flush of §V-A).
+	CauseDiskIO
+	// CauseDirtyPage: kernel dirty-page recycling saturating CPU (§V-B).
+	CauseDirtyPage
+	// CauseCPU: CPU saturation without a dirty-page signature (e.g. a JVM
+	// stop-the-world collection).
+	CauseCPU
+	// CauseDVFS: CPU slowdown coinciding with a clock-frequency drop.
+	CauseDVFS
+)
+
+func (k CauseKind) String() string {
+	switch k {
+	case CauseDiskIO:
+		return "disk-io"
+	case CauseDirtyPage:
+		return "dirty-page-recycling"
+	case CauseCPU:
+		return "cpu-saturation"
+	case CauseDVFS:
+		return "dvfs-downclocking"
+	default:
+		return "unknown"
+	}
+}
+
+// WindowDiagnosis explains one VLRT window.
+type WindowDiagnosis struct {
+	Window   analysis.Window
+	Pushback analysis.PushbackResult
+	// Causes ranks every candidate resource by lag-adjusted correlation
+	// with the front-tier queue around the window.
+	Causes []analysis.Cause
+	// Kind and Node identify the concluded root cause.
+	Kind CauseKind
+	Node string
+	// Verdict is the human-readable conclusion.
+	Verdict string
+}
+
+// Diagnosis is the full analysis of one ingested trial.
+type Diagnosis struct {
+	PIT     *metrics.PITResult
+	Windows []WindowDiagnosis
+}
+
+// Diagnose runs the paper's workflow over an ingested trial: find VLRT
+// windows in the Point-in-Time series, classify queue pushback, rank
+// resource candidates by correlation with the front-tier queue, and name
+// the root cause per window.
+func Diagnose(db *mscopedb.DB, window time.Duration) (*Diagnosis, error) {
+	tbl, err := db.Table("apache_event")
+	if err != nil {
+		return nil, err
+	}
+	pit, err := metrics.PointInTimeRT(tbl, window)
+	if err != nil {
+		return nil, err
+	}
+	out := &Diagnosis{PIT: pit}
+	vlrts := analysis.DetectVLRTWindows(pit.Series, pit.AvgUS, 10, 3*time.Second)
+	if len(vlrts) == 0 {
+		return out, nil
+	}
+
+	queues := make(map[string]*mscopedb.Series, len(Tiers))
+	for _, tier := range Tiers {
+		q, err := queueSeriesForTier(db, tier, window)
+		if err != nil {
+			return nil, err
+		}
+		queues[tier] = q
+	}
+	type candidate struct {
+		name string
+		tier string
+		kind CauseKind
+		s    *mscopedb.Series
+	}
+	var candidates []candidate
+	dirty := make(map[string]*mscopedb.Series, len(Tiers))
+	freq := make(map[string]*mscopedb.Series, len(Tiers))
+	for _, tier := range Tiers {
+		disk, err := resourceSeriesForTier(db, tier, "dsk_util", window, mscopedb.AggMax)
+		if err != nil {
+			return nil, err
+		}
+		candidates = append(candidates, candidate{tier + " disk", tier, CauseDiskIO, disk})
+		user, err := resourceSeriesForTier(db, tier, "cpu_user", window, mscopedb.AggAvg)
+		if err != nil {
+			return nil, err
+		}
+		sys, err := resourceSeriesForTier(db, tier, "cpu_sys", window, mscopedb.AggAvg)
+		if err != nil {
+			return nil, err
+		}
+		candidates = append(candidates, candidate{tier + " cpu", tier, CauseCPU, addSeries(user, sys)})
+		if d, err := resourceSeriesForTier(db, tier, "mem_dirty", window, mscopedb.AggAvg); err == nil {
+			dirty[tier] = d
+		}
+		if f, err := resourceSeriesForTier(db, tier, "cpu_mhz", window, mscopedb.AggMin); err == nil {
+			freq[tier] = f
+		}
+	}
+
+	pad := time.Second.Microseconds()
+	for _, w := range vlrts {
+		wd := WindowDiagnosis{Window: w}
+		// Queues build while the resource is held and the PIT spike lands
+		// when the stuck requests complete, so inspect the lead-in too.
+		wide := w
+		wide.StartMicros -= (400 * time.Millisecond).Microseconds()
+		wd.Pushback = analysis.DetectPushback(queues, Tiers, wide, 2.5)
+
+		lo, hi := w.StartMicros-pad, w.EndMicros+pad
+		ref := analysis.SliceSeries(queues["apache"], lo, hi)
+		byName := make(map[string]candidate, len(candidates))
+		for _, c := range candidates {
+			sliced := analysis.SliceSeries(c.s, lo, hi)
+			corr, _ := analysis.CrossCorrelate(sliced, ref, 8)
+			peak := 0.0
+			for _, v := range analysis.SliceSeries(c.s, w.StartMicros, w.EndMicros).Values {
+				if v > peak {
+					peak = v
+				}
+			}
+			wd.Causes = append(wd.Causes, analysis.Cause{
+				Name: c.name, Correlation: corr, PeakInWindow: peak,
+			})
+			byName[c.name] = c
+		}
+		sortCauses(wd.Causes)
+		if len(wd.Causes) > 0 && wd.Causes[0].Correlation > 0.3 {
+			top := byName[wd.Causes[0].Name]
+			wd.Kind, wd.Node = top.kind, top.tier
+			// Refine CPU causes with the corroborating sensors.
+			if wd.Kind == CauseCPU {
+				if f, ok := freq[top.tier]; ok && freqDropped(f, lo, hi) {
+					wd.Kind = CauseDVFS
+				} else if d, ok := dirty[top.tier]; ok && dirtyCollapsed(d, lo, hi) {
+					wd.Kind = CauseDirtyPage
+				}
+			}
+			wd.Verdict = fmt.Sprintf("%s at %s (r=%.2f, peak %.1f)",
+				wd.Kind, wd.Node, wd.Causes[0].Correlation, wd.Causes[0].PeakInWindow)
+		} else {
+			wd.Verdict = "no resource correlates with the queue spike"
+		}
+		out.Windows = append(out.Windows, wd)
+	}
+	return out, nil
+}
+
+// sortCauses orders by correlation then peak (same as analysis ranking).
+func sortCauses(causes []analysis.Cause) {
+	for i := 1; i < len(causes); i++ {
+		for j := i; j > 0; j-- {
+			a, b := causes[j-1], causes[j]
+			if b.Correlation > a.Correlation ||
+				(b.Correlation == a.Correlation && b.PeakInWindow > a.PeakInWindow) {
+				causes[j-1], causes[j] = b, a
+				continue
+			}
+			break
+		}
+	}
+}
+
+// freqDropped reports whether the clock frequency dipped well below
+// nominal inside the range.
+func freqDropped(f *mscopedb.Series, lo, hi int64) bool {
+	for _, v := range analysis.SliceSeries(f, lo, hi).Values {
+		if v > 0 && v < 0.7*resources.NominalMHz {
+			return true
+		}
+	}
+	return false
+}
+
+// dirtyCollapsed reports whether the dirty-page size fell by more than
+// half within the range — the recycling signature of Figure 8d.
+func dirtyCollapsed(d *mscopedb.Series, lo, hi int64) bool {
+	vals := analysis.SliceSeries(d, lo, hi).Values
+	peak, trough := 0.0, 0.0
+	seenPeak := false
+	for _, v := range vals {
+		if v > peak {
+			peak = v
+			trough = v
+			seenPeak = true
+			continue
+		}
+		if seenPeak && v < trough {
+			trough = v
+		}
+	}
+	return seenPeak && peak > 64*1024 && trough < peak/2
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/bottleneck"
+	"github.com/gt-elba/milliscope/internal/des"
+	"github.com/gt-elba/milliscope/internal/mscopedb"
+	"github.com/gt-elba/milliscope/internal/resmon"
+)
+
+// diagnoseScenario runs, ingests and diagnoses one scenario.
+func diagnoseScenario(t *testing.T, cfg ExperimentConfig) *Diagnosis {
+	t.Helper()
+	_, db := runScenario(t, cfg)
+	diag, err := Diagnose(db, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diag
+}
+
+// TestDiagnoseDBIO: the §V-A trial must be diagnosed as disk IO at mysql.
+func TestDiagnoseDBIO(t *testing.T) {
+	diag := diagnoseScenario(t, ScenarioDBIO(t.TempDir()))
+	if len(diag.Windows) == 0 {
+		t.Fatal("no VLRT windows diagnosed")
+	}
+	wd := diag.Windows[0]
+	if wd.Kind != CauseDiskIO || wd.Node != "mysql" {
+		t.Fatalf("diagnosis %s@%s (%s), want disk-io@mysql", wd.Kind, wd.Node, wd.Verdict)
+	}
+	if !wd.Pushback.CrossTier {
+		t.Fatal("pushback not cross-tier")
+	}
+}
+
+// TestDiagnoseDirtyPage: the §V-B trial's two windows must be diagnosed as
+// dirty-page recycling on apache then tomcat.
+func TestDiagnoseDirtyPage(t *testing.T) {
+	diag := diagnoseScenario(t, ScenarioDirtyPage(t.TempDir()))
+	if len(diag.Windows) != 2 {
+		t.Fatalf("%d windows, want 2", len(diag.Windows))
+	}
+	first, second := diag.Windows[0], diag.Windows[1]
+	if first.Kind != CauseDirtyPage || first.Node != "apache" {
+		t.Fatalf("peak 1 diagnosed %s@%s, want dirty-page-recycling@apache (%s)",
+			first.Kind, first.Node, first.Verdict)
+	}
+	if second.Kind != CauseDirtyPage || second.Node != "tomcat" {
+		t.Fatalf("peak 2 diagnosed %s@%s, want dirty-page-recycling@tomcat (%s)",
+			second.Kind, second.Node, second.Verdict)
+	}
+}
+
+// TestDiagnoseJVMGC: a stop-the-world pause shows as CPU saturation on
+// tomcat without a dirty-page or frequency signature.
+func TestDiagnoseJVMGC(t *testing.T) {
+	diag := diagnoseScenario(t, ScenarioJVMGC(t.TempDir()))
+	if len(diag.Windows) == 0 {
+		t.Fatal("no VLRT windows diagnosed")
+	}
+	wd := diag.Windows[0]
+	if wd.Kind != CauseCPU || wd.Node != "tomcat" {
+		t.Fatalf("diagnosis %s@%s, want cpu-saturation@tomcat (%s)",
+			wd.Kind, wd.Node, wd.Verdict)
+	}
+}
+
+// TestDiagnoseDVFS: the downclock is distinguished from organic CPU
+// saturation by the frequency gauge.
+func TestDiagnoseDVFS(t *testing.T) {
+	diag := diagnoseScenario(t, ScenarioDVFS(t.TempDir()))
+	if len(diag.Windows) == 0 {
+		t.Fatal("no VLRT windows diagnosed")
+	}
+	wd := diag.Windows[0]
+	if wd.Kind != CauseDVFS || wd.Node != "mysql" {
+		t.Fatalf("diagnosis %s@%s, want dvfs-downclocking@mysql (%s)",
+			wd.Kind, wd.Node, wd.Verdict)
+	}
+	if !strings.Contains(wd.Verdict, "dvfs") {
+		t.Fatalf("verdict %q", wd.Verdict)
+	}
+}
+
+// TestDiagnoseHealthy: a fault-free trial yields no VLRT windows.
+func TestDiagnoseHealthy(t *testing.T) {
+	cfg := ScenarioDBIO(t.TempDir())
+	cfg.Injectors = nil
+	cfg.Ntier.Duration = 4 * time.Second
+	diag := diagnoseScenario(t, cfg)
+	if len(diag.Windows) != 0 {
+		t.Fatalf("healthy trial diagnosed %d windows: %+v", len(diag.Windows), diag.Windows[0])
+	}
+}
+
+// TestDiagnoseRecurringVSBs: naturally recurring redo-log flushes each
+// produce their own VLRT window, every one attributed to the DB disk — the
+// "VSBs appear and disappear" life cycle of the paper's Section II.
+func TestDiagnoseRecurringVSBs(t *testing.T) {
+	cfg := ScenarioDBIO(t.TempDir())
+	cfg.Name = "recurring-dbio"
+	cfg.Ntier.Duration = 16 * time.Second
+	cfg.Injectors = []bottleneck.Injector{bottleneck.PeriodicDBLogFlush{
+		Start: des.Time(4 * time.Second), Period: 4 * time.Second,
+		Duration: 300 * time.Millisecond, Count: 3,
+	}}
+	diag := diagnoseScenario(t, cfg)
+	if len(diag.Windows) < 3 {
+		t.Fatalf("%d VLRT windows, want 3 recurring episodes", len(diag.Windows))
+	}
+	for i, wd := range diag.Windows {
+		if wd.Kind != CauseDiskIO || wd.Node != "mysql" {
+			t.Fatalf("episode %d diagnosed %s@%s (%s)", i+1, wd.Kind, wd.Node, wd.Verdict)
+		}
+		if wd.Window.Duration() > time.Second {
+			t.Fatalf("episode %d lasted %v; not a very SHORT bottleneck", i+1, wd.Window.Duration())
+		}
+	}
+}
+
+// TestPidstatAttributesFlusherCPU: during a recycling episode, the
+// per-process monitor shows the kernel flusher — not the server process —
+// burning the CPU, the attribution system-level tools cannot make.
+func TestPidstatAttributesFlusherCPU(t *testing.T) {
+	cfg := ScenarioDirtyPage(t.TempDir())
+	cfg.Resmon.Kinds = append(cfg.Resmon.Kinds, resmon.Pidstat)
+	_, db := runScenario(t, cfg)
+	tbl, err := db.Table("apache_pidstat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tbl.Select().Where("command", mscopedb.OpEq, "kworker/u16:flush").Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := res.Floats("system")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0.0
+	for _, v := range sys {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak < 80 {
+		t.Fatalf("flusher row peaked at %.1f%% CPU, want saturation during recycling", peak)
+	}
+	// The httpd rows must NOT show that CPU.
+	resH, err := tbl.Select().Where("command", mscopedb.OpEq, "httpd").Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysH, err := resH.Floats("system")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakH := 0.0
+	for _, v := range sysH {
+		if v > peakH {
+			peakH = v
+		}
+	}
+	if peakH > 30 {
+		t.Fatalf("httpd system CPU peaked at %.1f%%; recycling misattributed", peakH)
+	}
+}
+
+func TestCauseKindString(t *testing.T) {
+	for k, want := range map[CauseKind]string{
+		CauseDiskIO: "disk-io", CauseDirtyPage: "dirty-page-recycling",
+		CauseCPU: "cpu-saturation", CauseDVFS: "dvfs-downclocking",
+		CauseUnknown: "unknown",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d → %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/mscopedb"
+)
+
+func TestValidateWarehouseConsistent(t *testing.T) {
+	cfg := ScenarioDBIO(t.TempDir())
+	cfg.Ntier.Users = 60
+	cfg.Ntier.Duration = 5 * time.Second
+	_, db := runScenario(t, cfg)
+	rep, err := ValidateWarehouse(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("real trial flagged inconsistent: %v", rep.Problems)
+	}
+	if rep.RowCounts["apache"] == 0 || rep.RowCounts["mysql"] == 0 {
+		t.Fatalf("row counts %v", rep.RowCounts)
+	}
+	// Apache and Tomcat see each request once; the DB-side tables see one
+	// record per query, so their counts are at least the request count.
+	if rep.RowCounts["mysql"] < rep.RowCounts["apache"] {
+		t.Fatalf("mysql records (%d) below request count (%d)",
+			rep.RowCounts["mysql"], rep.RowCounts["apache"])
+	}
+	for _, tier := range Tiers {
+		ll := rep.Littles[tier]
+		if ll == nil || ll.Lambda <= 0 || ll.MeanResidence <= 0 {
+			t.Fatalf("%s little's law profile missing: %+v", tier, ll)
+		}
+	}
+	if !strings.Contains(rep.Summary(), "OK") {
+		t.Fatalf("summary %q", rep.Summary())
+	}
+}
+
+func TestValidateWarehouseDetectsDrops(t *testing.T) {
+	// A warehouse where tomcat lost records and mysql has an alien ID.
+	db := mscopedb.Open()
+	mk := func(name string, rows [][2]any) {
+		tbl, err := db.Create(name, []mscopedb.Column{
+			{Name: "reqid", Type: mscopedb.TString},
+			{Name: "ua", Type: mscopedb.TInt},
+			{Name: "ud", Type: mscopedb.TInt},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range rows {
+			if err := tbl.Append(r[0], r[1], r[1].(int64)+int64(1000+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	mk("apache_event", [][2]any{{"req-1", int64(100)}, {"req-2", int64(200)}})
+	mk("tomcat_event", [][2]any{{"req-1", int64(110)}}) // dropped req-2
+	mk("cjdbc_event", [][2]any{{"req-1", int64(120)}, {"req-2", int64(220)}})
+	mk("mysql_event", [][2]any{{"req-1", int64(130)}, {"req-9", int64(230)}}) // alien ID
+
+	rep, err := ValidateWarehouse(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("corrupted warehouse passed validation")
+	}
+	joined := strings.Join(rep.Problems, "; ")
+	if !strings.Contains(joined, "request conservation violated") {
+		t.Fatalf("drop not detected: %v", rep.Problems)
+	}
+	if !strings.Contains(joined, "absent from apache") {
+		t.Fatalf("alien ID not detected: %v", rep.Problems)
+	}
+	if !strings.Contains(rep.Summary(), "PROBLEMS") {
+		t.Fatalf("summary %q", rep.Summary())
+	}
+}
+
+func TestValidateWarehouseMissingTables(t *testing.T) {
+	if _, err := ValidateWarehouse(mscopedb.Open()); err == nil {
+		t.Fatal("empty warehouse accepted")
+	}
+}

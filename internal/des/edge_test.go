@@ -1,0 +1,111 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+func expectPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestEngineNilFnPanics(t *testing.T) {
+	e := NewEngine()
+	expectPanic(t, "At(nil)", func() { e.At(10, nil) })
+}
+
+func TestEngineNegativeAfterPanics(t *testing.T) {
+	e := NewEngine()
+	expectPanic(t, "After(-1)", func() { e.After(-time.Nanosecond, func() {}) })
+}
+
+func TestEveryNonPositivePeriodPanics(t *testing.T) {
+	e := NewEngine()
+	expectPanic(t, "Every(period=0)", func() { e.Every(0, 0, func(Time) bool { return true }) })
+}
+
+func TestResourceZeroCapacityPanics(t *testing.T) {
+	e := NewEngine()
+	expectPanic(t, "NewResource(cap=0)", func() { NewResource(e, "x", 0) })
+}
+
+func TestResourceNilAcquirePanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "x", 1)
+	expectPanic(t, "Acquire(nil)", func() { r.Acquire(nil) })
+}
+
+func TestResourceNegativeUsePanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "x", 1)
+	expectPanic(t, "Use(-1)", func() { r.Use(-1, nil) })
+}
+
+func TestCancelNilHandle(t *testing.T) {
+	var h *Handle
+	if h.Cancel() {
+		t.Fatal("nil handle cancel reported true")
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), func() {})
+	}
+	h := e.At(10, func() {})
+	h.Cancel()
+	e.Run()
+	if e.Fired() != 5 {
+		t.Fatalf("fired %d, want 5 (cancelled events do not count)", e.Fired())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending %d after run", e.Pending())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(10, func() {
+		order = append(order, 1)
+		e.At(10, func() { order = append(order, 2) }) // same timestamp, later seq
+		e.After(5, func() { order = append(order, 3) })
+	})
+	e.At(12, func() { order = append(order, 4) })
+	e.Run()
+	want := []int{1, 2, 4, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestWaitTokenNilCancel(t *testing.T) {
+	var tok *WaitToken
+	if tok.Cancel() {
+		t.Fatal("nil token cancel reported true")
+	}
+}
+
+func TestPeakQueueTracking(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "x", 1)
+	r.Acquire(func() {})
+	for i := 0; i < 7; i++ {
+		r.Acquire(func() {})
+	}
+	if r.PeakQueue() != 7 {
+		t.Fatalf("peak queue %d, want 7", r.PeakQueue())
+	}
+	if r.Grants() != 1 {
+		t.Fatalf("grants %d, want 1", r.Grants())
+	}
+}

@@ -1,0 +1,217 @@
+// Package des implements a deterministic discrete-event simulation kernel:
+// a virtual clock, an event queue ordered by (time, schedule sequence), and
+// capacity-limited FIFO resources with utilization accounting.
+//
+// All of milliScope's substrates (the n-tier testbed, resource monitors,
+// bottleneck injectors) are driven by one Engine. Virtual time is expressed
+// as a time.Duration offset from an arbitrary epoch; log writers convert it
+// to wall-clock form with a fixed base timestamp so that runs are
+// reproducible byte-for-byte.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual timestamp: the offset from the simulation epoch.
+type Time = time.Duration
+
+// Infinity is a sentinel virtual time later than any schedulable event.
+const Infinity Time = math.MaxInt64
+
+// Handle identifies a scheduled event and allows cancelling it before it
+// fires. The zero value is invalid; handles are produced by Engine.At and
+// Engine.After.
+type Handle struct {
+	ev *event
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. Cancel reports whether the event was
+// still pending.
+func (h *Handle) Cancel() bool {
+	if h == nil || h.ev == nil || h.ev.fn == nil {
+		return false
+	}
+	h.ev.fn = nil
+	return true
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		panic(fmt.Sprintf("des: pushed non-event %T", x))
+	}
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the simulation kernel. It is not safe for concurrent use: a
+// simulation runs on a single goroutine, which is what makes it
+// deterministic.
+type Engine struct {
+	now     Time
+	seq     uint64
+	pending eventHeap
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far; useful for
+// benchmarking kernel throughput.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued (including cancelled
+// events not yet reaped).
+func (e *Engine) Pending() int { return len(e.pending) }
+
+// At schedules fn to run at virtual time t. Scheduling in the past (t <
+// Now) is a programming error and panics, because silently reordering
+// causality would corrupt every downstream measurement.
+func (e *Engine) At(t Time, fn func()) *Handle {
+	if fn == nil {
+		panic("des: At called with nil fn")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("des: event scheduled in the past: at=%v now=%v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pending, ev)
+	return &Handle{ev: ev}
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d time.Duration, fn func()) *Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("des: After called with negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Step fires the single earliest pending event, advancing the clock to its
+// timestamp. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.pending) > 0 {
+		evAny := heap.Pop(&e.pending)
+		ev, ok := evAny.(*event)
+		if !ok {
+			panic(fmt.Sprintf("des: heap returned non-event %T", evAny))
+		}
+		if ev.fn == nil { // cancelled
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		e.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= deadline, then advances the
+// clock to exactly deadline. Events scheduled beyond the deadline remain
+// pending and can be resumed by a later RunUntil.
+func (e *Engine) RunUntil(deadline Time) {
+	for {
+		next, ok := e.peek()
+		if !ok || next > deadline {
+			break
+		}
+		e.Step()
+	}
+	if deadline > e.now {
+		e.now = deadline
+	}
+}
+
+// peek returns the timestamp of the earliest live event.
+func (e *Engine) peek() (Time, bool) {
+	for len(e.pending) > 0 {
+		if e.pending[0].fn == nil {
+			evAny := heap.Pop(&e.pending)
+			if _, ok := evAny.(*event); !ok {
+				panic("des: heap returned non-event")
+			}
+			continue
+		}
+		return e.pending[0].at, true
+	}
+	return 0, false
+}
+
+// NextEventAt exposes the earliest live event time, or (Infinity, false)
+// when the queue is empty. Samplers use it to decide whether further
+// activity remains.
+func (e *Engine) NextEventAt() (Time, bool) {
+	t, ok := e.peek()
+	if !ok {
+		return Infinity, false
+	}
+	return t, true
+}
+
+// Every invokes fn at t0, t0+period, t0+2*period, ... until stop returns
+// true (checked after each invocation). It returns a handle to the first
+// scheduled tick; cancelling it stops the series if the first tick has not
+// fired yet. Periodic drivers such as resource samplers use it.
+func (e *Engine) Every(t0 Time, period time.Duration, fn func(now Time) (stop bool)) *Handle {
+	if period <= 0 {
+		panic(fmt.Sprintf("des: Every called with non-positive period %v", period))
+	}
+	var tick func()
+	at := t0
+	tick = func() {
+		if fn(e.now) {
+			return
+		}
+		at += period
+		e.At(at, tick)
+	}
+	return e.At(t0, tick)
+}

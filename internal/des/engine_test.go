@@ -1,0 +1,354 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineFiresInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{30, 10, 20, 10, 5} {
+		at := at
+		e.At(at, func() { got = append(got, e.Now()) })
+	}
+	e.Run()
+	want := []Time{5, 10, 10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired at %v, want %v (order %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestEngineFIFOAtSameTimestamp(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-timestamp events fired out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestEnginePanicsOnPastEvent(t *testing.T) {
+	e := NewEngine()
+	e.At(50, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(10, func() {})
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	h := e.At(10, func() { fired = true })
+	if !h.Cancel() {
+		t.Fatal("first Cancel reported false")
+	}
+	if h.Cancel() {
+		t.Fatal("second Cancel reported true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		e.At(at, func() { fired = append(fired, e.Now()) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(25) fired %d events, want 2", len(fired))
+	}
+	if e.Now() != 25 {
+		t.Fatalf("clock at %v after RunUntil(25)", e.Now())
+	}
+	e.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("resumed RunUntil fired %d total, want 4", len(fired))
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock at %v after RunUntil(100)", e.Now())
+	}
+}
+
+func TestEngineAfterChainsRelativeDelays(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.After(10, func() {
+		e.After(15, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 25 {
+		t.Fatalf("chained After landed at %v, want 25", at)
+	}
+}
+
+func TestEngineEvery(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	e.Every(5, 10, func(now Time) bool {
+		ticks = append(ticks, now)
+		return len(ticks) >= 4
+	})
+	e.Run()
+	want := []Time{5, 15, 25, 35}
+	if len(ticks) != len(want) {
+		t.Fatalf("got %d ticks, want %d", len(ticks), len(want))
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestEngineNextEventAt(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextEventAt(); ok {
+		t.Fatal("empty engine reported a next event")
+	}
+	h := e.At(42, func() {})
+	if at, ok := e.NextEventAt(); !ok || at != 42 {
+		t.Fatalf("NextEventAt = (%v,%v), want (42,true)", at, ok)
+	}
+	h.Cancel()
+	if _, ok := e.NextEventAt(); ok {
+		t.Fatal("cancelled event still reported as next")
+	}
+}
+
+// Property: for any set of (time, id) pairs, the engine fires them in a
+// stable sort order by time.
+func TestEngineOrderingProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var fired []rec
+		for i, d := range delays {
+			i, at := i, Time(d)
+			e.At(at, func() { fired = append(fired, rec{at: at, seq: i}) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		want := make([]rec, len(fired))
+		for i, d := range delays {
+			want[i] = rec{at: Time(d), seq: i}
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceImmediateGrant(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cpu", 2)
+	granted := 0
+	if tok := r.Acquire(func() { granted++ }); tok != nil {
+		t.Fatal("immediate grant returned a wait token")
+	}
+	if tok := r.Acquire(func() { granted++ }); tok != nil {
+		t.Fatal("second immediate grant returned a wait token")
+	}
+	if granted != 2 || r.InUse() != 2 {
+		t.Fatalf("granted=%d inUse=%d, want 2,2", granted, r.InUse())
+	}
+	tok := r.Acquire(func() { granted++ })
+	if tok == nil {
+		t.Fatal("acquire beyond capacity did not queue")
+	}
+	if r.QueueLen() != 1 {
+		t.Fatalf("queue length %d, want 1", r.QueueLen())
+	}
+	r.Release()
+	if granted != 3 {
+		t.Fatalf("release did not grant waiter; granted=%d", granted)
+	}
+	if r.InUse() != 2 {
+		t.Fatalf("inUse=%d after handoff, want 2", r.InUse())
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "disk", 1)
+	r.Acquire(func() {})
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		r.Acquire(func() { order = append(order, i) })
+	}
+	for i := 0; i < 6; i++ {
+		r.Release()
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("waiters granted out of FIFO order: %v", order)
+		}
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("inUse=%d after all releases", r.InUse())
+	}
+}
+
+func TestResourceCancelWaiter(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "pool", 1)
+	r.Acquire(func() {})
+	cancelledRan := false
+	tok1 := r.Acquire(func() { cancelledRan = true })
+	secondRan := false
+	r.Acquire(func() { secondRan = true })
+	if !tok1.Cancel() {
+		t.Fatal("cancel of queued waiter reported false")
+	}
+	if tok1.Cancel() {
+		t.Fatal("double cancel reported true")
+	}
+	r.Release()
+	if cancelledRan {
+		t.Fatal("cancelled waiter ran")
+	}
+	if !secondRan {
+		t.Fatal("release skipped live waiter after cancelled one")
+	}
+}
+
+func TestResourceUseHoldsForDuration(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cpu", 1)
+	var doneAt Time
+	r.Use(100, func() { doneAt = e.Now() })
+	var secondAt Time
+	r.Use(50, func() { secondAt = e.Now() })
+	e.Run()
+	if doneAt != 100 {
+		t.Fatalf("first Use completed at %v, want 100", doneAt)
+	}
+	if secondAt != 150 {
+		t.Fatalf("queued Use completed at %v, want 150", secondAt)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "disk", 1)
+	r.Use(250, nil)
+	e.At(1000, func() {}) // extend run to t=1000
+	e.Run()
+	got := r.Utilization()
+	if got < 0.249 || got > 0.251 {
+		t.Fatalf("utilization %v, want 0.25", got)
+	}
+}
+
+func TestResourceReleaseBelowZeroPanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "x", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("release below zero did not panic")
+		}
+	}()
+	r.Release()
+}
+
+// Property: under random Use workloads, a capacity-k resource never has
+// more than k units in use, grants equal completions, and the busy
+// integral is at most k * elapsed.
+func TestResourceInvariantsProperty(t *testing.T) {
+	f := func(seed int64, capRaw uint8, nRaw uint8) bool {
+		capacity := int(capRaw%4) + 1
+		n := int(nRaw%40) + 1
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		r := NewResource(e, "p", capacity)
+		completions := 0
+		ok := true
+		for i := 0; i < n; i++ {
+			at := Time(rng.Intn(1000))
+			hold := Time(rng.Intn(200))
+			e.At(at, func() {
+				r.Use(hold, func() { completions++ })
+				if r.InUse() > capacity {
+					ok = false
+				}
+			})
+		}
+		e.Run()
+		if completions != n {
+			return false
+		}
+		if r.InUse() != 0 || r.QueueLen() != 0 {
+			return false
+		}
+		if r.BusyIntegral() > float64(capacity)*float64(e.Now())+1e-6 {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := NewEngine()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(time.Microsecond, tick)
+		}
+	}
+	e.After(time.Microsecond, tick)
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkResourceContention(b *testing.B) {
+	e := NewEngine()
+	r := NewResource(e, "cpu", 4)
+	for i := 0; i < b.N; i++ {
+		e.At(Time(i), func() { r.Use(10, nil) })
+	}
+	b.ResetTimer()
+	e.Run()
+}

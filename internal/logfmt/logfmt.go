@@ -1,0 +1,93 @@
+// Package logfmt renders the native log formats of the paper's testbed
+// components: the Apache access log extended with the four boundary
+// timestamps (Appendix A), a Tomcat application log, a C-JDBC controller
+// log, and the MySQL slow-query log. It also renders the resource-monitor
+// formats (SAR text, SAR XML, iostat, collectl plain and CSV).
+//
+// These writers define the raw-byte contract that internal/parsers must
+// recover; every format keeps millisecond-or-better resolution because the
+// whole point of milliScope is millisecond-granularity phenomena.
+package logfmt
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/simtime"
+)
+
+// apacheTimeLayout is the access-log %t layout with milliseconds.
+const apacheTimeLayout = "02/Jan/2006:15:04:05.000 -0700"
+
+// tomcatTimeLayout is the log4j-style layout.
+const tomcatTimeLayout = "2006-01-02 15:04:05.000"
+
+// mysqlTimeLayout is the slow-query-log "# Time:" layout.
+const mysqlTimeLayout = "2006-01-02T15:04:05.000000Z"
+
+func micros(w time.Time) int64 { return simtime.Micros(w) }
+
+// tsOrDash renders a boundary timestamp, or "-" when the visit made no
+// downstream call.
+func tsOrDash(w time.Time) string {
+	if w.IsZero() {
+		return "-"
+	}
+	return fmt.Sprintf("%d", micros(w))
+}
+
+// ApacheAccess renders one extended access-log line. ua/ud/ds/dr are
+// wall-clock boundary timestamps on the web node's (skewed) clock; ds/dr
+// may be zero for requests with no downstream call.
+func ApacheAccess(clientIP string, method, uri string, status, respBytes int,
+	ua, ud, ds, dr time.Time) string {
+	d := ud.Sub(ua).Microseconds()
+	return fmt.Sprintf(`%s - - [%s] "%s %s HTTP/1.1" %d %d D=%d UA=%d UD=%d DS=%s DR=%s`,
+		clientIP, ua.Format(apacheTimeLayout), method, uri, status, respBytes,
+		d, micros(ua), micros(ud), tsOrDash(ds), tsOrDash(dr))
+}
+
+// TomcatLine renders one application-log record from the Tomcat event
+// monitor (thread name mimics the AJP executor pool).
+func TomcatLine(thread int, id, uri string, ua, ud, ds, dr time.Time) string {
+	return fmt.Sprintf("%s [ajp-nio-8009-exec-%d] INFO  mScope - id=%s uri=%s ua=%d ud=%d ds=%s dr=%s",
+		ua.Format(tomcatTimeLayout), thread, id, uri,
+		micros(ua), micros(ud), tsOrDash(ds), tsOrDash(dr))
+}
+
+// CJDBCLine renders one controller-log record per proxied query.
+func CJDBCLine(vdb, id string, q int, ua, ud, ds, dr time.Time, sql string) string {
+	sec := float64(ua.UnixMicro()) / 1e6
+	return fmt.Sprintf(`[cjdbc-ctrl] %.6f vdb=%s req=%s q=%d ua=%d ud=%d ds=%s dr=%s sql="%s"`,
+		sec, vdb, id, q, micros(ua), micros(ud), tsOrDash(ds), tsOrDash(dr), sql)
+}
+
+// MySQLHeader returns the slow-query-log file preamble (three lines the
+// parser must skip — the reason the Parsing Declaration stage supports
+// line-based rules).
+func MySQLHeader() string {
+	return "/usr/sbin/mysqld, Version: 5.5.49-log (MySQL Community Server (GPL)). started with:\n" +
+		"Tcp port: 3306  Unix socket: /var/lib/mysql/mysql.sock\n" +
+		"Time                 Id Command    Argument\n"
+}
+
+// MySQLSlowRecord renders one multi-line slow-query-log record. The
+// propagated request ID rides in a SQL comment, exactly as Appendix A
+// describes ("SELECT ... /*ID=XXX*/").
+func MySQLSlowRecord(connID int, ua, ud time.Time, rowsSent, rowsExamined int,
+	sql, id string, q int) string {
+	qt := ud.Sub(ua).Seconds()
+	stmt := sql
+	if id != "" {
+		stmt = fmt.Sprintf("%s /*ID=%s q=%d*/", sql, id, q)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Time: %s\n", ua.UTC().Format(mysqlTimeLayout))
+	fmt.Fprintf(&b, "# User@Host: rubbos[rubbos] @ cjdbc [10.0.0.23]  Id: %5d\n", connID)
+	fmt.Fprintf(&b, "# Query_time: %.6f  Lock_time: 0.000010 Rows_sent: %d  Rows_examined: %d\n",
+		qt, rowsSent, rowsExamined)
+	fmt.Fprintf(&b, "SET timestamp=%d;\n", ua.Unix())
+	fmt.Fprintf(&b, "%s;\n", stmt)
+	return b.String()
+}

@@ -1,0 +1,183 @@
+package logfmt
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/resources"
+)
+
+var (
+	wallUA = time.Date(2017, 4, 1, 0, 0, 12, 345678000, time.UTC)
+	wallUD = wallUA.Add(2123 * time.Microsecond)
+	wallDS = wallUA.Add(400 * time.Microsecond)
+	wallDR = wallUA.Add(1900 * time.Microsecond)
+)
+
+func TestApacheAccessShape(t *testing.T) {
+	line := ApacheAccess("10.0.0.100", "GET", "/rubbos/ViewStory?ID=req-0000000123",
+		200, 18432, wallUA, wallUD, wallDS, wallDR)
+	re := regexp.MustCompile(`^\S+ - - \[\d{2}/\w{3}/\d{4}:\d{2}:\d{2}:\d{2}\.\d{3} [+-]\d{4}\] "GET \S+ HTTP/1\.1" 200 18432 D=2123 UA=\d+ UD=\d+ DS=\d+ DR=\d+$`)
+	if !re.MatchString(line) {
+		t.Fatalf("access line shape mismatch:\n%s", line)
+	}
+	if !strings.Contains(line, "ID=req-0000000123") {
+		t.Fatal("request ID missing from URL")
+	}
+	if !strings.Contains(line, "[01/Apr/2017:00:00:12.345 +0000]") {
+		t.Fatalf("timestamp wrong: %s", line)
+	}
+}
+
+func TestApacheAccessDashWhenNoDownstream(t *testing.T) {
+	line := ApacheAccess("10.0.0.100", "GET", "/x", 200, 1, wallUA, wallUD,
+		time.Time{}, time.Time{})
+	if !strings.Contains(line, "DS=- DR=-") {
+		t.Fatalf("zero DS/DR not rendered as dashes: %s", line)
+	}
+}
+
+func TestTomcatLineShape(t *testing.T) {
+	line := TomcatLine(12, "req-0000000123", "/rubbos/ViewStory", wallUA, wallUD, wallDS, wallDR)
+	re := regexp.MustCompile(`^\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2}\.\d{3} \[ajp-nio-8009-exec-12\] INFO  mScope - id=req-\d{10} uri=\S+ ua=\d+ ud=\d+ ds=\d+ dr=\d+$`)
+	if !re.MatchString(line) {
+		t.Fatalf("tomcat line shape mismatch:\n%s", line)
+	}
+}
+
+func TestCJDBCLineShape(t *testing.T) {
+	line := CJDBCLine("rubbos", "req-0000000123", 1, wallUA, wallUD, wallDS, wallDR,
+		"SELECT id FROM stories WHERE id=?")
+	re := regexp.MustCompile(`^\[cjdbc-ctrl\] \d+\.\d{6} vdb=rubbos req=req-\d{10} q=1 ua=\d+ ud=\d+ ds=\d+ dr=\d+ sql=".+"$`)
+	if !re.MatchString(line) {
+		t.Fatalf("cjdbc line shape mismatch:\n%s", line)
+	}
+}
+
+func TestMySQLSlowRecordShape(t *testing.T) {
+	rec := MySQLSlowRecord(45, wallUA, wallUD, 1, 100,
+		"SELECT id,title FROM stories WHERE id=?", "req-0000000123", 0)
+	lines := strings.Split(strings.TrimSuffix(rec, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("slow record has %d lines, want 5:\n%s", len(lines), rec)
+	}
+	if !strings.HasPrefix(lines[0], "# Time: 2017-04-01T00:00:12.345678Z") {
+		t.Fatalf("time line wrong: %s", lines[0])
+	}
+	if !strings.Contains(lines[2], "Query_time: 0.002123") {
+		t.Fatalf("query time wrong: %s", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "SET timestamp=") {
+		t.Fatalf("set-timestamp line wrong: %s", lines[3])
+	}
+	if !strings.HasSuffix(lines[4], "/*ID=req-0000000123 q=0*/;") {
+		t.Fatalf("ID comment missing: %s", lines[4])
+	}
+}
+
+func TestMySQLSlowRecordWithoutID(t *testing.T) {
+	rec := MySQLSlowRecord(45, wallUA, wallUD, 1, 100, "SELECT 1", "", 0)
+	if strings.Contains(rec, "/*ID=") {
+		t.Fatal("ID comment present with empty ID")
+	}
+}
+
+func TestMySQLHeaderThreeLines(t *testing.T) {
+	h := MySQLHeader()
+	if n := strings.Count(h, "\n"); n != 3 {
+		t.Fatalf("header has %d lines, want 3", n)
+	}
+}
+
+func sampleInterval() resources.Interval {
+	return resources.Interval{
+		UserPct: 12.34, SystemPct: 3.21, IOWaitPct: 1.05, IdlePct: 83.40,
+		DiskReadOpsPS: 0.5, DiskWriteOpsPS: 45.2,
+		DiskReadKBPS: 8, DiskWriteKBPS: 1024, DiskUtilPct: 29.4, DiskAvgQueue: 0.12,
+		MemFreeKB: 1234567, MemBuffKB: 32768, MemCachedKB: 654321, MemDirtyKB: 1234,
+		NetRxKBPS: 34.5, NetTxKBPS: 231.2, RunQueue: 3,
+	}
+}
+
+func TestSARTextShape(t *testing.T) {
+	h := SARHeader("apache", 8, wallUA)
+	if !strings.Contains(h, "(apache)") || !strings.Contains(h, "(8 CPU)") {
+		t.Fatalf("sar header wrong: %s", h)
+	}
+	cols := SARCPUColumns(wallUA)
+	if !strings.Contains(cols, "%user") || !strings.Contains(cols, "%iowait") {
+		t.Fatalf("sar columns wrong: %s", cols)
+	}
+	row := SARCPURow(wallUA, sampleInterval())
+	re := regexp.MustCompile(`^\d{2}:\d{2}:\d{2}\.\d{3}    all\s+12\.34\s+0\.00\s+3\.21\s+1\.05\s+0\.00\s+83\.40$`)
+	if !re.MatchString(row) {
+		t.Fatalf("sar row shape mismatch:\n%q", row)
+	}
+}
+
+func TestSARXMLWellFormed(t *testing.T) {
+	doc := SARXMLOpen("tomcat", 8, wallUA) +
+		SARXMLTimestamp(wallUA, sampleInterval()) +
+		SARXMLClose()
+	for _, want := range []string{
+		`nodename="tomcat"`, `user="12.34"`, `iowait="1.05"`,
+		`time="00:00:12.345"`, `runq-sz="3"`, "</sysstat>",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Fatalf("sar xml missing %q:\n%s", want, doc)
+		}
+	}
+}
+
+func TestIostatReportShape(t *testing.T) {
+	rep := IostatReport(wallUA, "sda", sampleInterval())
+	lines := strings.Split(strings.TrimRight(rep, "\n"), "\n")
+	if len(lines) < 6 {
+		t.Fatalf("iostat report has %d lines:\n%s", len(lines), rep)
+	}
+	if !strings.HasPrefix(lines[0], "04/01/2017 00:00:12.345") {
+		t.Fatalf("timestamp line wrong: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "avg-cpu:") {
+		t.Fatalf("avg-cpu line wrong: %s", lines[1])
+	}
+	if !strings.HasPrefix(lines[5], "sda") {
+		t.Fatalf("device line wrong: %s", lines[5])
+	}
+	if !strings.Contains(lines[5], "29.40") {
+		t.Fatalf("util missing from device line: %s", lines[5])
+	}
+}
+
+func TestCollectlPlainShape(t *testing.T) {
+	h := CollectlPlainHeader()
+	if !strings.HasPrefix(h, "#<") {
+		t.Fatalf("plain header wrong: %s", h)
+	}
+	row := CollectlPlainRow(wallUA, sampleInterval())
+	if !strings.HasPrefix(row, "00:00:12.345") {
+		t.Fatalf("plain row timestamp wrong: %s", row)
+	}
+	fields := strings.Fields(row)
+	if len(fields) != 10 {
+		t.Fatalf("plain row has %d fields, want 10: %s", len(fields), row)
+	}
+}
+
+func TestCollectlCSVShape(t *testing.T) {
+	h := strings.TrimSuffix(CollectlCSVHeader(), "\n")
+	row := CollectlCSVRow(wallUA, sampleInterval())
+	hc := strings.Count(h, ",")
+	rc := strings.Count(row, ",")
+	if hc != rc {
+		t.Fatalf("csv header has %d commas, row has %d:\n%s\n%s", hc, rc, h, row)
+	}
+	if !strings.HasPrefix(row, "20170401,00:00:12.345,") {
+		t.Fatalf("csv row prefix wrong: %s", row)
+	}
+	if !strings.Contains(h, "[MEM]Dirty") {
+		t.Fatal("csv header missing dirty-page column")
+	}
+}

@@ -1,0 +1,146 @@
+package logfmt
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/resources"
+)
+
+// sarClockLayout is the per-row timestamp, extended to milliseconds (the
+// paper patches its monitors for high-frequency sampling).
+const sarClockLayout = "15:04:05.000"
+
+// SARHeader returns the sysstat file banner.
+func SARHeader(host string, cores int, date time.Time) string {
+	return fmt.Sprintf("Linux 3.10.0-327.el7.x86_64 (%s) \t%s \t_x86_64_\t(%d CPU)\n",
+		host, date.Format("01/02/2006"), cores)
+}
+
+// SARCPUColumns returns the column-header row SAR reprints periodically.
+func SARCPUColumns(ts time.Time) string {
+	return fmt.Sprintf("%s    CPU     %%user     %%nice   %%system   %%iowait    %%steal     %%idle",
+		ts.Format(sarClockLayout))
+}
+
+// SARCPURow renders one interval report row.
+func SARCPURow(ts time.Time, iv resources.Interval) string {
+	return fmt.Sprintf("%s    all    %6.2f      0.00    %6.2f    %6.2f      0.00    %6.2f",
+		ts.Format(sarClockLayout), iv.UserPct, iv.SystemPct, iv.IOWaitPct, iv.IdlePct)
+}
+
+// SARXMLOpen returns the document preamble of `sadf -x`-style output.
+func SARXMLOpen(host string, cores int, date time.Time) string {
+	return fmt.Sprintf("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"+
+		"<sysstat>\n <host nodename=\"%s\" cpu-count=\"%d\" date=\"%s\">\n  <statistics>\n",
+		host, cores, date.Format("2006-01-02"))
+}
+
+// SARXMLTimestamp renders one <timestamp> element with a cpu-load record.
+func SARXMLTimestamp(ts time.Time, iv resources.Interval) string {
+	return fmt.Sprintf("   <timestamp date=\"%s\" time=\"%s\">\n"+
+		"    <cpu-load>\n"+
+		"     <cpu number=\"all\" user=\"%.2f\" nice=\"0.00\" system=\"%.2f\" iowait=\"%.2f\" steal=\"0.00\" idle=\"%.2f\"/>\n"+
+		"    </cpu-load>\n"+
+		"    <queue runq-sz=\"%d\"/>\n"+
+		"   </timestamp>\n",
+		ts.Format("2006-01-02"), ts.Format(sarClockLayout),
+		iv.UserPct, iv.SystemPct, iv.IOWaitPct, iv.IdlePct, iv.RunQueue)
+}
+
+// SARXMLClose returns the document epilogue.
+func SARXMLClose() string {
+	return "  </statistics>\n </host>\n</sysstat>\n"
+}
+
+// IostatHeader returns the iostat banner.
+func IostatHeader(host string, cores int, date time.Time) string {
+	return fmt.Sprintf("Linux 3.10.0-327.el7.x86_64 (%s) \t%s \t_x86_64_\t(%d CPU)\n",
+		host, date.Format("01/02/2006"), cores)
+}
+
+// IostatReport renders one `iostat -tx` interval report: timestamp line,
+// avg-cpu block, and device block. The multi-block shape is what makes the
+// iostat parser's positional line rules necessary.
+func IostatReport(ts time.Time, dev string, iv resources.Interval) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", ts.Format("01/02/2006 15:04:05.000"))
+	b.WriteString("avg-cpu:  %user   %nice %system %iowait  %steal   %idle\n")
+	fmt.Fprintf(&b, "         %6.2f    0.00  %6.2f  %6.2f    0.00  %6.2f\n",
+		iv.UserPct, iv.SystemPct, iv.IOWaitPct, iv.IdlePct)
+	b.WriteString("\n")
+	b.WriteString("Device:         rrqm/s   wrqm/s     r/s     w/s    rkB/s    wkB/s avgrq-sz avgqu-sz   await r_await w_await  svctm  %util\n")
+	avgrq := 0.0
+	if ops := iv.DiskReadOpsPS + iv.DiskWriteOpsPS; ops > 0 {
+		avgrq = 2 * (iv.DiskReadKBPS + iv.DiskWriteKBPS) / ops // sectors
+	}
+	fmt.Fprintf(&b, "%-14s %8.2f %8.2f %7.2f %7.2f %8.2f %8.2f %8.2f %8.2f %7.2f %7.2f %7.2f %6.2f %6.2f\n",
+		dev, 0.0, 0.0, iv.DiskReadOpsPS, iv.DiskWriteOpsPS,
+		iv.DiskReadKBPS, iv.DiskWriteKBPS, avgrq, iv.DiskAvgQueue,
+		awaitMS(iv), awaitMS(iv), awaitMS(iv), svctmMS(iv), iv.DiskUtilPct)
+	b.WriteString("\n")
+	return b.String()
+}
+
+func awaitMS(iv resources.Interval) float64 {
+	ops := iv.DiskReadOpsPS + iv.DiskWriteOpsPS
+	if ops <= 0 {
+		return 0
+	}
+	// Average residence = queue integral / throughput (Little's law).
+	return iv.DiskAvgQueue / ops * 1000
+}
+
+func svctmMS(iv resources.Interval) float64 {
+	ops := iv.DiskReadOpsPS + iv.DiskWriteOpsPS
+	if ops <= 0 {
+		return 0
+	}
+	return iv.DiskUtilPct / 100 / ops * 1000
+}
+
+// PidstatColumns returns the per-process column header pidstat reprints.
+func PidstatColumns(ts time.Time) string {
+	return fmt.Sprintf("%s      UID       PID    %%usr %%system  %%guest    %%CPU   CPU  Command",
+		ts.Format(sarClockLayout))
+}
+
+// PidstatRow renders one per-process sample row.
+func PidstatRow(ts time.Time, uid, pid int, usr, system, cpuPct float64, core int, cmd string) string {
+	return fmt.Sprintf("%s %8d %9d %7.2f %7.2f    0.00 %7.2f %5d  %s",
+		ts.Format(sarClockLayout), uid, pid, usr, system, cpuPct, core, cmd)
+}
+
+// CollectlPlainHeader returns the two banner lines of `collectl -sCDM`.
+func CollectlPlainHeader() string {
+	return "#<--------CPU--------><----------Disks-----------><-----------Memory----------->\n" +
+		"#Time          User% Sys% Wait%  KBRead Reads KBWrit Writes    Free   Dirty\n"
+}
+
+// CollectlPlainRow renders one brief-format sample row.
+func CollectlPlainRow(ts time.Time, iv resources.Interval) string {
+	return fmt.Sprintf("%s %6.1f %4.1f %5.1f %7.0f %5.0f %6.0f %6.0f %7.0f %7.0f",
+		ts.Format(sarClockLayout), iv.UserPct, iv.SystemPct, iv.IOWaitPct,
+		iv.DiskReadKBPS, iv.DiskReadOpsPS, iv.DiskWriteKBPS, iv.DiskWriteOpsPS,
+		iv.MemFreeKB, iv.MemDirtyKB)
+}
+
+// CollectlCSVHeader returns the `collectl -P` plot-format header. The MHz
+// gauge column (the cpufreq subsystem) lets the analysis layer spot DVFS
+// downclocking, one of the VSB root causes the paper's related work lists.
+func CollectlCSVHeader() string {
+	return "#Date,Time,[CPU]User%,[CPU]Sys%,[CPU]Wait%,[CPU]Idle%,[CPU]MHz," +
+		"[DSK]ReadKBTot,[DSK]WriteKBTot,[DSK]ReadTot,[DSK]WriteTot,[DSK]Util%," +
+		"[MEM]Free,[MEM]Buf,[MEM]Cached,[MEM]Dirty,[NET]RxKBTot,[NET]TxKBTot\n"
+}
+
+// CollectlCSVRow renders one plot-format sample.
+func CollectlCSVRow(ts time.Time, iv resources.Interval) string {
+	return fmt.Sprintf("%s,%s,%.2f,%.2f,%.2f,%.2f,%.0f,%.1f,%.1f,%.1f,%.1f,%.2f,%.0f,%.0f,%.0f,%.0f,%.1f,%.1f",
+		ts.Format("20060102"), ts.Format(sarClockLayout),
+		iv.UserPct, iv.SystemPct, iv.IOWaitPct, iv.IdlePct, iv.CPUMHz,
+		iv.DiskReadKBPS, iv.DiskWriteKBPS, iv.DiskReadOpsPS, iv.DiskWriteOpsPS, iv.DiskUtilPct,
+		iv.MemFreeKB, iv.MemBuffKB, iv.MemCachedKB, iv.MemDirtyKB,
+		iv.NetRxKBPS, iv.NetTxKBPS)
+}

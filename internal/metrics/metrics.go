@@ -1,0 +1,271 @@
+// Package metrics derives the paper's diagnostic time series from
+// warehouse tables: Point-in-Time response time (Figure 2), instantaneous
+// per-tier queue lengths from event records (Figure 6), and windowed
+// resource series (Figures 4, 8c, 8d).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/mscopedb"
+)
+
+// Point is one sample of an integer-valued series.
+type Point struct {
+	AtMicros int64
+	N        int
+}
+
+// PITResult is a Point-in-Time response time series.
+type PITResult struct {
+	// Series holds the per-window maximum response time in microseconds,
+	// bucketed by completion time.
+	Series *mscopedb.Series
+	// AvgUS is the overall mean response time in microseconds.
+	AvgUS float64
+	// MaxUS is the overall maximum.
+	MaxUS float64
+	// Requests is the population size.
+	Requests int
+}
+
+// PeakFactor returns max/avg — the paper's "twenty times the average"
+// headline statistic.
+func (p *PITResult) PeakFactor() float64 {
+	if p.AvgUS <= 0 {
+		return 0
+	}
+	return p.MaxUS / p.AvgUS
+}
+
+// PointInTimeRT computes the Point-in-Time response time from a front-tier
+// event table: per window of the given width, the maximum of (ud-ua);
+// requests are bucketed by completion time (ud).
+func PointInTimeRT(tbl *mscopedb.Table, window time.Duration) (*PITResult, error) {
+	uaCI, udCI := tbl.ColIndex("ua"), tbl.ColIndex("ud")
+	if uaCI < 0 || udCI < 0 {
+		return nil, fmt.Errorf("metrics: %s lacks ua/ud columns", tbl.Name())
+	}
+	cols := tbl.Columns()
+	if cols[uaCI].Type != mscopedb.TInt || cols[udCI].Type != mscopedb.TInt {
+		return nil, fmt.Errorf("metrics: %s ua/ud are not int micros", tbl.Name())
+	}
+	n := tbl.Rows()
+	if n == 0 {
+		return nil, fmt.Errorf("metrics: %s is empty", tbl.Name())
+	}
+	w := window.Microseconds()
+	if w <= 0 {
+		return nil, fmt.Errorf("metrics: non-positive window %v", window)
+	}
+	buckets := make(map[int64]float64)
+	var lo, hi int64
+	var sum, max float64
+	for r := 0; r < n; r++ {
+		ua, ud := tbl.Int(uaCI, r), tbl.Int(udCI, r)
+		rt := float64(ud - ua)
+		sum += rt
+		if rt > max {
+			max = rt
+		}
+		b := ud - mod(ud, w)
+		if rt > buckets[b] {
+			buckets[b] = rt
+		}
+		if r == 0 || b < lo {
+			lo = b
+		}
+		if r == 0 || b > hi {
+			hi = b
+		}
+	}
+	var s mscopedb.Series
+	for b := lo; b <= hi; b += w {
+		s.StartMicros = append(s.StartMicros, b)
+		s.Values = append(s.Values, buckets[b])
+	}
+	return &PITResult{Series: &s, AvgUS: sum / float64(n), MaxUS: max, Requests: n}, nil
+}
+
+// QueueSeries computes the instantaneous number of resident requests at a
+// tier from its event table (arrival = ua, departure = ud), sampled every
+// step. This is the metric the paper derives from the event monitors
+// without sampling loss (Figures 6, 8b, 9).
+func QueueSeries(tbl *mscopedb.Table, step time.Duration) ([]Point, error) {
+	uaCI, udCI := tbl.ColIndex("ua"), tbl.ColIndex("ud")
+	if uaCI < 0 || udCI < 0 {
+		return nil, fmt.Errorf("metrics: %s lacks ua/ud columns", tbl.Name())
+	}
+	if step <= 0 {
+		return nil, fmt.Errorf("metrics: non-positive step %v", step)
+	}
+	n := tbl.Rows()
+	if n == 0 {
+		return nil, nil
+	}
+	type ev struct {
+		at int64
+		d  int
+	}
+	evs := make([]ev, 0, 2*n)
+	for r := 0; r < n; r++ {
+		evs = append(evs,
+			ev{tbl.Int(uaCI, r), +1},
+			ev{tbl.Int(udCI, r), -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].d > evs[j].d
+	})
+	lo, hi := evs[0].at, evs[len(evs)-1].at
+	stepUS := step.Microseconds()
+	// Snap the first sample onto the step grid so queue samples share
+	// window timestamps with resource series (correlation aligns on them).
+	lo -= mod(lo, stepUS)
+	var out []Point
+	cur, k := 0, 0
+	emit := func(at int64) {
+		for k < len(evs) && evs[k].at <= at {
+			cur += evs[k].d
+			k++
+		}
+		out = append(out, Point{AtMicros: at, N: cur})
+	}
+	at := lo
+	for ; at <= hi; at += stepUS {
+		emit(at)
+	}
+	// Always sample the final instant so the series ends after the last
+	// departure (queue back at its residual level).
+	if at-stepUS != hi {
+		emit(hi)
+	}
+	return out, nil
+}
+
+// PointsToSeries converts a queue-point list into a Series for correlation
+// with resource series.
+func PointsToSeries(pts []Point) *mscopedb.Series {
+	var s mscopedb.Series
+	for _, p := range pts {
+		s.StartMicros = append(s.StartMicros, p.AtMicros)
+		s.Values = append(s.Values, float64(p.N))
+	}
+	return &s
+}
+
+// ResourceSeries windows a resource table's numeric column by its ts
+// column: the collectl/SAR/iostat view of a node over time.
+func ResourceSeries(tbl *mscopedb.Table, valCol string, window time.Duration, fn mscopedb.AggFn) (*mscopedb.Series, error) {
+	res, err := tbl.Select().Rows()
+	if err != nil {
+		return nil, err
+	}
+	return res.WindowAgg("ts", window, valCol, fn)
+}
+
+// VLRTRequests returns the request IDs whose response time exceeds
+// k × the table's average — the very long response time requests.
+func VLRTRequests(tbl *mscopedb.Table, k float64) ([]string, error) {
+	uaCI, udCI, reqCI := tbl.ColIndex("ua"), tbl.ColIndex("ud"), tbl.ColIndex("reqid")
+	if uaCI < 0 || udCI < 0 || reqCI < 0 {
+		return nil, fmt.Errorf("metrics: %s lacks ua/ud/reqid columns", tbl.Name())
+	}
+	n := tbl.Rows()
+	if n == 0 {
+		return nil, nil
+	}
+	var sum float64
+	for r := 0; r < n; r++ {
+		sum += float64(tbl.Int(udCI, r) - tbl.Int(uaCI, r))
+	}
+	avg := sum / float64(n)
+	threshold := k * avg
+	var out []string
+	for r := 0; r < n; r++ {
+		if float64(tbl.Int(udCI, r)-tbl.Int(uaCI, r)) > threshold {
+			out = append(out, tbl.Str(reqCI, r))
+		}
+	}
+	return out, nil
+}
+
+// LittlesLawReport cross-checks an event table against Little's law:
+// mean queue length must equal arrival rate × mean residence time. A large
+// relative error means the monitor dropped or duplicated records — the
+// framework's own self-validation.
+type LittlesLawReport struct {
+	// Lambda is the arrival rate (requests per second).
+	Lambda float64
+	// MeanResidence is the mean UD-UA.
+	MeanResidence time.Duration
+	// MeanQueue is the time-averaged queue length integrated from events.
+	MeanQueue float64
+	// RelativeError is |L - λW| / L.
+	RelativeError float64
+}
+
+// LittlesLaw computes the report from one tier's event table.
+func LittlesLaw(tbl *mscopedb.Table) (*LittlesLawReport, error) {
+	uaCI, udCI := tbl.ColIndex("ua"), tbl.ColIndex("ud")
+	if uaCI < 0 || udCI < 0 {
+		return nil, fmt.Errorf("metrics: %s lacks ua/ud columns", tbl.Name())
+	}
+	n := tbl.Rows()
+	if n == 0 {
+		return nil, fmt.Errorf("metrics: %s is empty", tbl.Name())
+	}
+	var sumRes float64
+	lo, hi := tbl.Int(uaCI, 0), tbl.Int(udCI, 0)
+	for r := 0; r < n; r++ {
+		ua, ud := tbl.Int(uaCI, r), tbl.Int(udCI, r)
+		sumRes += float64(ud - ua)
+		if ua < lo {
+			lo = ua
+		}
+		if ud > hi {
+			hi = ud
+		}
+	}
+	spanUS := float64(hi - lo)
+	if spanUS <= 0 {
+		return nil, fmt.Errorf("metrics: %s spans zero time", tbl.Name())
+	}
+	rep := &LittlesLawReport{
+		Lambda:        float64(n) / (spanUS / 1e6),
+		MeanResidence: time.Duration(sumRes/float64(n)) * time.Microsecond,
+		// Time-averaged queue = total residence / observation span.
+		MeanQueue: sumRes / spanUS,
+	}
+	lw := rep.Lambda * rep.MeanResidence.Seconds()
+	if rep.MeanQueue > 0 {
+		rep.RelativeError = abs(rep.MeanQueue-lw) / rep.MeanQueue
+	}
+	return rep, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// FormatMicros renders a µs epoch for report output (seconds into the
+// trial, given the trial's first timestamp).
+func FormatMicros(us, baseUS int64) string {
+	return strconv.FormatFloat(float64(us-baseUS)/1e6, 'f', 3, 64) + "s"
+}
+
+func mod(a, b int64) int64 {
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}

@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/mscopedb"
+)
+
+// eventTable builds a front-tier event table with (ua, ud) pairs in µs.
+func eventTable(t *testing.T, spans [][2]int64) *mscopedb.Table {
+	t.Helper()
+	tbl, err := mscopedb.NewTable("apache_event", []mscopedb.Column{
+		{Name: "reqid", Type: mscopedb.TString},
+		{Name: "ua", Type: mscopedb.TInt},
+		{Name: "ud", Type: mscopedb.TInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range spans {
+		if err := tbl.Append("req-"+string(rune('a'+i%26)), s[0], s[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestPointInTimeRT(t *testing.T) {
+	// Three fast requests and one 100ms outlier completing at 70ms.
+	tbl := eventTable(t, [][2]int64{
+		{0, 5_000},
+		{10_000, 17_000},
+		{60_000, 65_000},
+		{-30_000, 70_000}, // 100ms request
+	})
+	pit, err := PointInTimeRT(tbl, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pit.Requests != 4 {
+		t.Fatalf("requests %d", pit.Requests)
+	}
+	if pit.MaxUS != 100_000 {
+		t.Fatalf("max %v", pit.MaxUS)
+	}
+	// Windows (by completion): [0,50ms): max 7000; [50ms,100ms): max 100000.
+	if len(pit.Series.Values) != 2 {
+		t.Fatalf("windows %d: %+v", len(pit.Series.Values), pit.Series)
+	}
+	if pit.Series.Values[0] != 7_000 || pit.Series.Values[1] != 100_000 {
+		t.Fatalf("series %+v", pit.Series.Values)
+	}
+	if pf := pit.PeakFactor(); pf < 3 || pf > 4 {
+		t.Fatalf("peak factor %v", pf) // 100000 / ((5000+7000+5000+100000)/4) ≈ 3.4
+	}
+}
+
+func TestPointInTimeRTEmpty(t *testing.T) {
+	tbl := eventTable(t, nil)
+	if _, err := PointInTimeRT(tbl, time.Millisecond); err == nil {
+		t.Fatal("empty table accepted")
+	}
+}
+
+func TestQueueSeries(t *testing.T) {
+	// Two overlapping residencies and one later.
+	tbl := eventTable(t, [][2]int64{
+		{0, 100_000},
+		{40_000, 60_000},
+		{200_000, 220_000},
+	})
+	pts, err := QueueSeries(tbl, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(us int64) int {
+		for _, p := range pts {
+			if p.AtMicros == us {
+				return p.N
+			}
+		}
+		t.Fatalf("no point at %d", us)
+		return -1
+	}
+	if at(0) != 1 || at(50_000) != 2 || at(80_000) != 1 || at(100_000) != 0 || at(210_000) != 1 {
+		t.Fatalf("queue series wrong: %+v", pts)
+	}
+	// Never negative.
+	for _, p := range pts {
+		if p.N < 0 {
+			t.Fatalf("negative queue at %d", p.AtMicros)
+		}
+	}
+}
+
+func TestQueueSeriesEmpty(t *testing.T) {
+	tbl := eventTable(t, nil)
+	pts, err := QueueSeries(tbl, time.Millisecond)
+	if err != nil || pts != nil {
+		t.Fatalf("empty: %v %v", pts, err)
+	}
+}
+
+// Property: queue series over random spans is never negative and ends at
+// zero after all departures.
+func TestQueueSeriesInvariantProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var spans [][2]int64
+		for i := 0; i+1 < len(raw); i += 2 {
+			ua := int64(raw[i])
+			ud := ua + int64(raw[i+1]) + 1
+			spans = append(spans, [2]int64{ua, ud})
+		}
+		tbl, err := mscopedb.NewTable("e", []mscopedb.Column{
+			{Name: "ua", Type: mscopedb.TInt},
+			{Name: "ud", Type: mscopedb.TInt},
+		})
+		if err != nil {
+			return false
+		}
+		for _, s := range spans {
+			if err := tbl.Append(s[0], s[1]); err != nil {
+				return false
+			}
+		}
+		pts, err := QueueSeries(tbl, 100*time.Microsecond)
+		if err != nil {
+			return false
+		}
+		for _, p := range pts {
+			if p.N < 0 {
+				return false
+			}
+		}
+		return len(pts) == 0 || pts[len(pts)-1].N == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVLRTRequests(t *testing.T) {
+	tbl := eventTable(t, [][2]int64{
+		{0, 5_000},
+		{10_000, 15_000},
+		{20_000, 25_000},
+		{30_000, 130_000}, // 100ms vs ~5ms avg
+	})
+	// With four samples the outlier lifts the average (~29ms), so the
+	// 100ms request is ~3.5x the mean.
+	ids, err := VLRTRequests(tbl, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("VLRTs: %v", ids)
+	}
+}
+
+func TestLittlesLawConsistent(t *testing.T) {
+	// A deterministic M/D/∞-ish table: 1000 requests arriving every 1ms,
+	// each resident 5ms → λ=1000/s (over span), W=5ms, L=λW≈5.
+	var spans [][2]int64
+	for i := int64(0); i < 1000; i++ {
+		spans = append(spans, [2]int64{i * 1000, i*1000 + 5000})
+	}
+	tbl := eventTable(t, spans)
+	rep, err := LittlesLaw(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeanResidence != 5*time.Millisecond {
+		t.Fatalf("W = %v", rep.MeanResidence)
+	}
+	if rep.RelativeError > 0.01 {
+		t.Fatalf("self-consistent table has relative error %.4f", rep.RelativeError)
+	}
+	if rep.MeanQueue < 4.5 || rep.MeanQueue > 5.5 {
+		t.Fatalf("L = %v, want ~5", rep.MeanQueue)
+	}
+}
+
+func TestLittlesLawEmpty(t *testing.T) {
+	tbl := eventTable(t, nil)
+	if _, err := LittlesLaw(tbl); err == nil {
+		t.Fatal("empty table accepted")
+	}
+}
+
+func TestPointsToSeries(t *testing.T) {
+	s := PointsToSeries([]Point{{AtMicros: 10, N: 3}, {AtMicros: 20, N: 5}})
+	if len(s.StartMicros) != 2 || s.Values[1] != 5 {
+		t.Fatalf("series %+v", s)
+	}
+}
+
+func TestResourceSeries(t *testing.T) {
+	tbl, err := mscopedb.NewTable("mysql_collectlcsv", []mscopedb.Column{
+		{Name: "ts", Type: mscopedb.TTime},
+		{Name: "dsk_util", Type: mscopedb.TFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2017, 4, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 20; i++ {
+		util := 10.0
+		if i >= 10 && i < 14 {
+			util = 99.0
+		}
+		if err := tbl.Append(base.Add(time.Duration(i)*50*time.Millisecond), util); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := ResourceSeries(tbl, "dsk_util", 100*time.Millisecond, mscopedb.AggAvg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Values) != 10 {
+		t.Fatalf("windows %d", len(s.Values))
+	}
+	if s.Values[5] != 99 || s.Values[0] != 10 {
+		t.Fatalf("values %+v", s.Values)
+	}
+}

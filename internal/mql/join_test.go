@@ -1,0 +1,227 @@
+package mql
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/mscopedb"
+)
+
+// joinDB builds two event tables sharing request IDs.
+func joinDB(t *testing.T) *mscopedb.DB {
+	t.Helper()
+	db := mscopedb.Open()
+	ap, err := db.Create("apache_event", []mscopedb.Column{
+		{Name: "reqid", Type: mscopedb.TString},
+		{Name: "rt_us", Type: mscopedb.TInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := db.Create("tomcat_event", []mscopedb.Column{
+		{Name: "reqid", Type: mscopedb.TString},
+		{Name: "ua", Type: mscopedb.TInt},
+		{Name: "uri", Type: mscopedb.TString},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []struct {
+		id string
+		rt int64
+	}{{"req-1", 5000}, {"req-2", 150000}, {"req-3", 7000}}
+	for _, r := range rows {
+		if err := ap.Append(r.id, r.rt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// tomcat has req-1 twice (retry), req-2 once, req-4 unmatched.
+	for _, r := range []struct {
+		id  string
+		ua  int64
+		uri string
+	}{
+		{"req-1", 100, "/a"}, {"req-1", 900, "/a"},
+		{"req-2", 200, "/b"}, {"req-4", 300, "/c"},
+	} {
+		if err := tc.Append(r.id, r.ua, r.uri); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestJoinBasic(t *testing.T) {
+	db := joinDB(t)
+	out, err := Run(db, "SELECT a.reqid, a.rt_us, b.ua FROM apache_event a JOIN tomcat_event b ON reqid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// req-1 x2 + req-2 x1 = 3 joined rows; req-3 and req-4 drop (inner join).
+	if len(out.Rows) != 3 {
+		t.Fatalf("join rows %d: %+v", len(out.Rows), out.Rows)
+	}
+	if out.Cols[0] != "a.reqid" || out.Cols[2] != "b.ua" {
+		t.Fatalf("cols %v", out.Cols)
+	}
+}
+
+func TestJoinWithPredicatesBothSides(t *testing.T) {
+	db := joinDB(t)
+	out, err := Run(db,
+		"SELECT a.reqid, b.uri FROM apache_event a JOIN tomcat_event b ON reqid WHERE a.rt_us > 6000 AND b.ua < 250")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 1 || out.Rows[0][0] != "req-2" || out.Rows[0][1] != "/b" {
+		t.Fatalf("rows %+v", out.Rows)
+	}
+}
+
+func TestJoinStar(t *testing.T) {
+	db := joinDB(t)
+	out, err := Run(db, "SELECT * FROM apache_event a JOIN tomcat_event b ON reqid LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Cols) != 5 {
+		t.Fatalf("star cols %v", out.Cols)
+	}
+	if len(out.Rows) != 2 {
+		t.Fatalf("limit ignored: %d rows", len(out.Rows))
+	}
+	if out.Cols[0] != "a.reqid" || out.Cols[2] != "b.reqid" {
+		t.Fatalf("qualified star cols %v", out.Cols)
+	}
+}
+
+func TestJoinDefaultAliases(t *testing.T) {
+	db := joinDB(t)
+	out, err := Run(db,
+		"SELECT apache_event.reqid FROM apache_event JOIN tomcat_event ON reqid WHERE tomcat_event.ua = 200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 1 || out.Rows[0][0] != "req-2" {
+		t.Fatalf("rows %+v", out.Rows)
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	db := joinDB(t)
+	bad := []string{
+		// Unqualified column in a join.
+		"SELECT reqid FROM apache_event a JOIN tomcat_event b ON reqid",
+		// Unknown alias.
+		"SELECT c.reqid FROM apache_event a JOIN tomcat_event b ON reqid",
+		// Join column missing from one side.
+		"SELECT a.reqid FROM apache_event a JOIN tomcat_event b ON rt_us",
+		// Missing ON.
+		"SELECT a.reqid FROM apache_event a JOIN tomcat_event b",
+		// Window on join.
+		"SELECT WINDOW 50ms MAX(rt_us) BY ua FROM apache_event a JOIN tomcat_event b ON reqid",
+		// Order on join.
+		"SELECT a.reqid FROM apache_event a JOIN tomcat_event b ON reqid ORDER BY a.rt_us ASC",
+		// Same alias both sides.
+		"SELECT a.reqid FROM apache_event a JOIN tomcat_event a ON reqid",
+		// Unknown table.
+		"SELECT a.reqid FROM apache_event a JOIN nope b ON reqid",
+	}
+	for _, q := range bad {
+		if _, err := Run(db, q); err == nil {
+			t.Fatalf("query accepted: %q", q)
+		}
+	}
+}
+
+func TestJoinTypeMismatch(t *testing.T) {
+	db := mscopedb.Open()
+	a, err := db.Create("ta", []mscopedb.Column{{Name: "k", Type: mscopedb.TString}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bTbl, err := db.Create("tb", []mscopedb.Column{{Name: "k", Type: mscopedb.TInt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append("1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := bTbl.Append(int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(db, "SELECT a.k FROM ta a JOIN tb b ON k"); err == nil {
+		t.Fatal("cross-type join accepted")
+	}
+}
+
+func TestJoinOnIntKey(t *testing.T) {
+	db := mscopedb.Open()
+	a, err := db.Create("ta", []mscopedb.Column{
+		{Name: "k", Type: mscopedb.TInt}, {Name: "v", Type: mscopedb.TString}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bTbl, err := db.Create("tb", []mscopedb.Column{
+		{Name: "k", Type: mscopedb.TInt}, {Name: "w", Type: mscopedb.TFloat}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5; i++ {
+		if err := a.Append(i, "x"); err != nil {
+			t.Fatal(err)
+		}
+		if err := bTbl.Append(i%3, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := Run(db, "SELECT a.k, b.w FROM ta a JOIN tb b ON k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// keys in tb: 0,1,2,0,1 → matches: k=0→2, k=1→2, k=2→1 = 5 rows.
+	if len(out.Rows) != 5 {
+		t.Fatalf("int-key join rows %d", len(out.Rows))
+	}
+}
+
+// TestJoinAcrossRealEventTables validates the headline use: joining the
+// Apache and MySQL event tables on the propagated request ID.
+func TestJoinAcrossRealEventTables(t *testing.T) {
+	db := mscopedb.Open()
+	ap, err := db.Create("apache_event", []mscopedb.Column{
+		{Name: "reqid", Type: mscopedb.TString},
+		{Name: "rt_us", Type: mscopedb.TInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	my, err := db.Create("mysql_event", []mscopedb.Column{
+		{Name: "reqid", Type: mscopedb.TString},
+		{Name: "q", Type: mscopedb.TInt},
+		{Name: "ua", Type: mscopedb.TInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2017, 4, 1, 0, 0, 0, 0, time.UTC).UnixMicro()
+	for i := int64(0); i < 100; i++ {
+		id := "req-" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+		if err := ap.Append(id, 5000+i); err != nil {
+			t.Fatal(err)
+		}
+		for q := int64(0); q < 2; q++ {
+			if err := my.Append(id, q, base+i*1000); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	out, err := Run(db,
+		"SELECT a.reqid, a.rt_us, m.q FROM apache_event a JOIN mysql_event m ON reqid WHERE a.rt_us >= 5090")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 20 { // 10 slow requests × 2 queries each
+		t.Fatalf("join rows %d", len(out.Rows))
+	}
+}

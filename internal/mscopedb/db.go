@@ -1,0 +1,157 @@
+package mscopedb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Names of the four static metadata tables (paper Section III-C).
+const (
+	TableExperiments = "mscope_experiments"
+	TableNodes       = "mscope_nodes"
+	TableMonitors    = "mscope_monitors"
+	TableIngests     = "mscope_ingests"
+)
+
+// DB is the warehouse: a catalog of static metadata tables plus
+// dynamically created data tables.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// Open creates an empty warehouse with the four static tables.
+func Open() *DB {
+	db := &DB{tables: make(map[string]*Table)}
+	mustCreate := func(name string, cols []Column) {
+		t, err := NewTable(name, cols)
+		if err != nil {
+			panic(fmt.Sprintf("mscopedb: static table %s: %v", name, err))
+		}
+		db.tables[name] = t
+	}
+	mustCreate(TableExperiments, []Column{
+		{Name: "id", Type: TInt},
+		{Name: "name", Type: TString},
+		{Name: "started", Type: TTime},
+		{Name: "seed", Type: TInt},
+		{Name: "users", Type: TInt},
+		{Name: "duration_ms", Type: TInt},
+		{Name: "mix", Type: TString},
+	})
+	mustCreate(TableNodes, []Column{
+		{Name: "experiment", Type: TInt},
+		{Name: "name", Type: TString},
+		{Name: "tier", Type: TString},
+		{Name: "cores", Type: TInt},
+		{Name: "workers", Type: TInt},
+	})
+	mustCreate(TableMonitors, []Column{
+		{Name: "experiment", Type: TInt},
+		{Name: "node", Type: TString},
+		{Name: "kind", Type: TString},
+		{Name: "file", Type: TString},
+	})
+	mustCreate(TableIngests, []Column{
+		{Name: "tbl", Type: TString},
+		{Name: "file", Type: TString},
+		{Name: "rows", Type: TInt},
+		{Name: "loaded", Type: TTime},
+	})
+	return db
+}
+
+// Create adds a dynamic table; the name must be new.
+func (db *DB) Create(name string, cols []Column) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[name]; exists {
+		return nil, fmt.Errorf("mscopedb: table %q already exists", name)
+	}
+	t, err := NewTable(name, cols)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("mscopedb: no table %q", name)
+	}
+	return t, nil
+}
+
+// TableNames lists every table, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Drop removes a dynamic table. Static tables cannot be dropped.
+func (db *DB) Drop(name string) error {
+	switch name {
+	case TableExperiments, TableNodes, TableMonitors, TableIngests:
+		return fmt.Errorf("mscopedb: cannot drop static table %q", name)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("mscopedb: no table %q", name)
+	}
+	delete(db.tables, name)
+	return nil
+}
+
+// RecordExperiment appends one experiment row and returns its id.
+func (db *DB) RecordExperiment(name string, started time.Time, seed int64, users int, duration time.Duration, mix string) (int64, error) {
+	t, err := db.Table(TableExperiments)
+	if err != nil {
+		return 0, err
+	}
+	id := int64(t.Rows() + 1)
+	if err := t.Append(id, name, started, seed, int64(users), duration.Milliseconds(), mix); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// RecordNode appends one node row.
+func (db *DB) RecordNode(experiment int64, name, tier string, cores, workers int) error {
+	t, err := db.Table(TableNodes)
+	if err != nil {
+		return err
+	}
+	return t.Append(experiment, name, tier, int64(cores), int64(workers))
+}
+
+// RecordMonitor appends one monitor row.
+func (db *DB) RecordMonitor(experiment int64, node, kind, file string) error {
+	t, err := db.Table(TableMonitors)
+	if err != nil {
+		return err
+	}
+	return t.Append(experiment, node, kind, file)
+}
+
+// RecordIngest appends one ingest provenance row.
+func (db *DB) RecordIngest(table, file string, rows int, loaded time.Time) error {
+	t, err := db.Table(TableIngests)
+	if err != nil {
+		return err
+	}
+	return t.Append(table, file, int64(rows), loaded)
+}

@@ -1,0 +1,197 @@
+package mscopedb
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSizeBytes(t *testing.T) {
+	tbl, err := NewTable("s", []Column{
+		{Name: "n", Type: TInt},
+		{Name: "f", Type: TFloat},
+		{Name: "ts", Type: TTime},
+		{Name: "s", Type: TString},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.SizeBytes() != 0 {
+		t.Fatal("empty table has non-zero size")
+	}
+	for i := 0; i < 10; i++ {
+		if err := tbl.Append(int64(i), float64(i), time.Now().UTC(), "abcde"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 10 rows * (3 numeric * 8 + (5 + 16) string) = 450.
+	if got := tbl.SizeBytes(); got != 450 {
+		t.Fatalf("SizeBytes = %d, want 450", got)
+	}
+}
+
+// TestConcurrentReaders exercises the catalog's RWMutex: concurrent
+// lookups and scans while tables already exist must be race-free
+// (run with -race in CI).
+func TestConcurrentReaders(t *testing.T) {
+	db := Open()
+	tbl, err := db.Create("c", []Column{{Name: "v", Type: TInt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := tbl.Append(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tt, err := db.Table("c")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				res, err := tt.Select().Where("v", OpGt, int64(500)).Rows()
+				if err != nil || res.Len() != 499 {
+					t.Errorf("len=%d err=%v", res.Len(), err)
+					return
+				}
+				_ = db.TableNames()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestOpNeAndStrings(t *testing.T) {
+	tbl, err := NewTable("x", []Column{
+		{Name: "k", Type: TString},
+		{Name: "v", Type: TInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range []string{"a", "b", "a", "c"} {
+		if err := tbl.Append(k, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := tbl.Select().Where("k", OpNe, "a").Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("!=a rows %d", res.Len())
+	}
+	// Order by string.
+	res, err = tbl.Select().OrderBy("k", false).Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := res.Strings("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks[0] != "c" || ks[3] != "a" {
+		t.Fatalf("string order %v", ks)
+	}
+}
+
+func TestResultTypedExtractErrors(t *testing.T) {
+	tbl, err := NewTable("x", []Column{
+		{Name: "k", Type: TString},
+		{Name: "v", Type: TInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Append("a", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tbl.Select().Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Ints("k"); err == nil {
+		t.Fatal("Ints on string column accepted")
+	}
+	if _, err := res.Strings("v"); err == nil {
+		t.Fatal("Strings on int column accepted")
+	}
+	if _, err := res.Floats("k"); err == nil {
+		t.Fatal("Floats on string column accepted")
+	}
+	if _, err := res.TimesMicros("v"); err == nil {
+		t.Fatal("TimesMicros on int column accepted")
+	}
+	if _, err := res.Ints("nope"); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestWindowAggErrors(t *testing.T) {
+	tbl, err := NewTable("x", []Column{
+		{Name: "k", Type: TString},
+		{Name: "v", Type: TInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tbl.Select().Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.WindowAgg("k", time.Second, "v", AggMax); err == nil {
+		t.Fatal("string time column accepted")
+	}
+	if _, err := res.WindowAgg("v", 0, "v", AggMax); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := res.WindowAgg("v", time.Second, "k", AggMax); err == nil {
+		t.Fatal("string aggregation accepted")
+	}
+	if _, err := res.WindowAgg("v", time.Second, "nope", AggMax); err == nil {
+		t.Fatal("unknown value column accepted")
+	}
+	// Empty selection yields an empty series, not an error.
+	s, err := res.WindowAgg("v", time.Second, "v", AggMax)
+	if err != nil || len(s.Values) != 0 {
+		t.Fatalf("empty selection: %v %v", s, err)
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	for _, name := range []string{"int", "float", "time", "string"} {
+		typ, err := ParseType(name)
+		if err != nil || typ.String() != name {
+			t.Fatalf("ParseType(%s) = %v, %v", name, typ, err)
+		}
+	}
+	if _, err := ParseType("bogus"); err == nil {
+		t.Fatal("bogus type accepted")
+	}
+	for _, name := range []string{"avg", "max", "min", "sum", "count", "p99"} {
+		fn, err := ParseAggFn(name)
+		if err != nil || fn.String() != name {
+			t.Fatalf("ParseAggFn(%s) = %v, %v", name, fn, err)
+		}
+	}
+	if _, err := ParseAggFn("median"); err == nil {
+		t.Fatal("unknown agg accepted")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	}
+	for op, want := range cases {
+		if op.String() != want {
+			t.Fatalf("%d → %q, want %q", int(op), op.String(), want)
+		}
+	}
+}

@@ -1,0 +1,380 @@
+package mscopedb
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleTable(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := NewTable("ev", []Column{
+		{Name: "ts", Type: TTime},
+		{Name: "reqid", Type: TString},
+		{Name: "rt_us", Type: TInt},
+		{Name: "util", Type: TFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2017, 4, 1, 0, 0, 0, 0, time.UTC)
+	rows := []struct {
+		off time.Duration
+		id  string
+		rt  int64
+		u   float64
+	}{
+		{0, "req-1", 5000, 10},
+		{20 * time.Millisecond, "req-2", 7000, 20},
+		{60 * time.Millisecond, "req-3", 90000, 95},
+		{110 * time.Millisecond, "req-4", 6000, 15},
+		{130 * time.Millisecond, "req-5", 4000, 12},
+	}
+	for _, r := range rows {
+		if err := tbl.Append(base.Add(r.off), r.id, r.rt, r.u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestTableValidation(t *testing.T) {
+	if _, err := NewTable("", []Column{{Name: "a", Type: TInt}}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := NewTable("x", nil); err == nil {
+		t.Fatal("no columns accepted")
+	}
+	if _, err := NewTable("x", []Column{{Name: "a", Type: TInt}, {Name: "a", Type: TInt}}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	if _, err := NewTable("x", []Column{{Name: "a", Type: Type(9)}}); err == nil {
+		t.Fatal("invalid type accepted")
+	}
+}
+
+func TestAppendTypeMismatch(t *testing.T) {
+	tbl := sampleTable(t)
+	if err := tbl.Append("not-a-time", "id", int64(1), 1.0); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+	if err := tbl.Append(time.Now()); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestAppendStrings(t *testing.T) {
+	tbl, err := NewTable("x", []Column{
+		{Name: "ts", Type: TTime},
+		{Name: "n", Type: TInt},
+		{Name: "f", Type: TFloat},
+		{Name: "s", Type: TString},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AppendStrings([]string{"2017-04-01T00:00:12.345678Z", "42", "3.14", "hello"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AppendStrings([]string{"", "", "", ""}); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 2 {
+		t.Fatalf("rows %d", tbl.Rows())
+	}
+	if tbl.Int(1, 0) != 42 || tbl.Float(2, 0) != 3.14 || tbl.Str(3, 0) != "hello" {
+		t.Fatal("values wrong")
+	}
+	wantUS := time.Date(2017, 4, 1, 0, 0, 12, 345678000, time.UTC).UnixMicro()
+	if tbl.TimeMicros(0, 0) != wantUS {
+		t.Fatalf("time micros %d, want %d", tbl.TimeMicros(0, 0), wantUS)
+	}
+	if tbl.Int(1, 1) != 0 || tbl.Str(3, 1) != "" {
+		t.Fatal("empty cells not zero-valued")
+	}
+	if err := tbl.AppendStrings([]string{"x", "1", "1", "1"}); err == nil {
+		t.Fatal("bad time accepted")
+	}
+}
+
+func TestQueryFilters(t *testing.T) {
+	tbl := sampleTable(t)
+	res, err := tbl.Select().Where("rt_us", OpGt, int64(6000)).Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("rt>6000 returned %d rows", res.Len())
+	}
+	res, err = tbl.Select().Where("reqid", OpEq, "req-3").Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("string eq returned %d rows", res.Len())
+	}
+	ids, err := res.Strings("reqid")
+	if err != nil || ids[0] != "req-3" {
+		t.Fatalf("ids %v err %v", ids, err)
+	}
+}
+
+func TestQueryBetweenTime(t *testing.T) {
+	tbl := sampleTable(t)
+	base := time.Date(2017, 4, 1, 0, 0, 0, 0, time.UTC)
+	res, err := tbl.Select().
+		Between("ts", base.Add(10*time.Millisecond), base.Add(120*time.Millisecond)).
+		Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Fatalf("time range returned %d rows", res.Len())
+	}
+}
+
+func TestQueryOrderLimit(t *testing.T) {
+	tbl := sampleTable(t)
+	res, err := tbl.Select().OrderBy("rt_us", false).Limit(2).Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts, err := res.Ints("rt_us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rts) != 2 || rts[0] != 90000 || rts[1] != 7000 {
+		t.Fatalf("order/limit wrong: %v", rts)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	tbl := sampleTable(t)
+	if _, err := tbl.Select().Where("nope", OpEq, int64(1)).Rows(); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := tbl.Select().Where("reqid", OpLt, "a").Rows(); err == nil {
+		t.Fatal("string < accepted")
+	}
+	if _, err := tbl.Select().Where("rt_us", OpEq, "str").Rows(); err == nil {
+		t.Fatal("string predicate on int column accepted")
+	}
+	if _, err := tbl.Select().OrderBy("nope", true).Rows(); err == nil {
+		t.Fatal("unknown order column accepted")
+	}
+}
+
+func TestWindowAgg(t *testing.T) {
+	tbl := sampleTable(t)
+	res, err := tbl.Select().Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := res.WindowAgg("ts", 50*time.Millisecond, "rt_us", AggMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows at 0,20 | 60 | 110,130 → 3 windows: max 7000, 90000, 6000.
+	if len(s.Values) != 3 {
+		t.Fatalf("%d windows: %+v", len(s.Values), s)
+	}
+	want := []float64{7000, 90000, 6000}
+	for i, w := range want {
+		if s.Values[i] != w {
+			t.Fatalf("window %d = %v, want %v", i, s.Values[i], w)
+		}
+	}
+	c, err := res.WindowAgg("ts", 50*time.Millisecond, "", AggCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Values[0] != 2 || c.Values[1] != 1 || c.Values[2] != 2 {
+		t.Fatalf("counts %v", c.Values)
+	}
+}
+
+func TestWindowAggOnIntMicros(t *testing.T) {
+	tbl, err := NewTable("x", []Column{
+		{Name: "ua", Type: TInt},
+		{Name: "v", Type: TFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := tbl.Append(int64(i*10_000), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := tbl.Select().Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := res.WindowAgg("ua", 50*time.Millisecond, "v", AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Values) != 2 || s.Values[0] != 0+1+2+3+4 || s.Values[1] != 5+6+7+8+9 {
+		t.Fatalf("int window agg: %+v", s)
+	}
+}
+
+func TestAggregateFns(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 100}
+	cases := map[AggFn]float64{
+		AggAvg: 22, AggMax: 100, AggMin: 1, AggSum: 110, AggP99: 100,
+	}
+	for fn, want := range cases {
+		if got := aggregate(fn, vals); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("%v = %v, want %v", fn, got, want)
+		}
+	}
+	if aggregate(AggCount, vals) != 5 {
+		t.Fatal("count wrong")
+	}
+	if aggregate(AggMax, nil) != 0 {
+		t.Fatal("empty max not zero")
+	}
+}
+
+func TestDBStaticTables(t *testing.T) {
+	db := Open()
+	names := db.TableNames()
+	if len(names) != 4 {
+		t.Fatalf("fresh db has %d tables", len(names))
+	}
+	id, err := db.RecordExperiment("fig2", time.Now().UTC(), 42, 1000, time.Minute, "read-write")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Fatalf("experiment id %d", id)
+	}
+	if err := db.RecordNode(id, "apache", "web", 8, 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RecordMonitor(id, "apache", "collectl-csv", "/x.csv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RecordIngest("apache_event", "/x.log", 100, time.Now().UTC()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDBCreateDropTable(t *testing.T) {
+	db := Open()
+	if _, err := db.Create("t1", []Column{{Name: "a", Type: TInt}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Create("t1", []Column{{Name: "a", Type: TInt}}); err == nil {
+		t.Fatal("duplicate create accepted")
+	}
+	if _, err := db.Table("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Drop("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Table("t1"); err == nil {
+		t.Fatal("dropped table still present")
+	}
+	if err := db.Drop(TableExperiments); err == nil {
+		t.Fatal("static table drop accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := Open()
+	tbl, err := db.Create("ev", []Column{
+		{Name: "ts", Type: TTime},
+		{Name: "reqid", Type: TString},
+		{Name: "rt", Type: TInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2017, 4, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 100; i++ {
+		if err := tbl.Append(base.Add(time.Duration(i)*time.Millisecond), "req", int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "db.gob")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl2, err := db2.Table("ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl2.Rows() != 100 {
+		t.Fatalf("loaded rows %d", tbl2.Rows())
+	}
+	if tbl2.Int(2, 57) != 57 {
+		t.Fatal("loaded value wrong")
+	}
+	if tbl2.TimeMicros(0, 3) != base.Add(3*time.Millisecond).UnixMicro() {
+		t.Fatal("loaded time wrong")
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.gob")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// Property: query engine equals a naive filter for random int data.
+func TestQueryMatchesNaiveProperty(t *testing.T) {
+	f := func(vals []int16, threshold int16) bool {
+		tbl, err := NewTable("p", []Column{{Name: "v", Type: TInt}})
+		if err != nil {
+			return false
+		}
+		naive := 0
+		for _, v := range vals {
+			if err := tbl.Append(int64(v)); err != nil {
+				return false
+			}
+			if int64(v) > int64(threshold) {
+				naive++
+			}
+		}
+		res, err := tbl.Select().Where("v", OpGt, int64(threshold)).Rows()
+		if err != nil {
+			return false
+		}
+		return res.Len() == naive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScanFilter(b *testing.B) {
+	tbl, err := NewTable("b", []Column{
+		{Name: "ua", Type: TInt},
+		{Name: "rt", Type: TInt},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100000; i++ {
+		if err := tbl.Append(int64(i), int64(i%1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := tbl.Select().Where("rt", OpGt, int64(990)).Rows()
+		if err != nil || res.Len() == 0 {
+			b.Fatalf("err=%v len=%d", err, res.Len())
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package mscopedb
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"os"
+)
+
+// snapshot types give gob a stable, exported surface.
+
+type dbSnapshot struct {
+	Tables []tableSnapshot
+}
+
+type tableSnapshot struct {
+	Name string
+	Cols []Column
+	Data []colData
+	Rows int
+}
+
+// Save serializes the warehouse so CLI stages (transform, load, query,
+// report) can compose across process boundaries.
+func (db *DB) Save(path string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var snap dbSnapshot
+	for _, name := range db.TableNames() {
+		t := db.tables[name]
+		snap.Tables = append(snap.Tables, tableSnapshot{
+			Name: t.name, Cols: t.cols, Data: t.data, Rows: t.rows,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("mscopedb: create %s: %w", path, err)
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := gob.NewEncoder(bw).Encode(snap); err != nil {
+		return fmt.Errorf("mscopedb: encode %s: %w", path, err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("mscopedb: flush %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load deserializes a warehouse written by Save.
+func Load(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("mscopedb: open %s: %w", path, err)
+	}
+	defer f.Close()
+	var snap dbSnapshot
+	if err := gob.NewDecoder(bufio.NewReaderSize(f, 1<<20)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("mscopedb: decode %s: %w", path, err)
+	}
+	db := &DB{tables: make(map[string]*Table, len(snap.Tables))}
+	for _, ts := range snap.Tables {
+		t, err := NewTable(ts.Name, ts.Cols)
+		if err != nil {
+			return nil, fmt.Errorf("mscopedb: load %s: %w", path, err)
+		}
+		t.data = ts.Data
+		t.rows = ts.Rows
+		// Guard against truncated column data.
+		for i, cd := range t.data {
+			n := len(cd.Ints) + len(cd.Floats) + len(cd.Times) + len(cd.Strs)
+			if n != ts.Rows {
+				return nil, fmt.Errorf("mscopedb: load %s: table %s column %s has %d values for %d rows",
+					path, ts.Name, ts.Cols[i].Name, n, ts.Rows)
+			}
+		}
+		db.tables[ts.Name] = t
+	}
+	// A loaded warehouse must still have its static tables.
+	for _, name := range []string{TableExperiments, TableNodes, TableMonitors, TableIngests} {
+		if _, ok := db.tables[name]; !ok {
+			return nil, fmt.Errorf("mscopedb: load %s: static table %s missing", path, name)
+		}
+	}
+	return db, nil
+}

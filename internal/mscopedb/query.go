@@ -1,0 +1,473 @@
+package mscopedb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Op is a predicate comparison operator.
+type Op int
+
+// Comparison operators.
+const (
+	OpEq Op = iota + 1
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+type pred struct {
+	col   int
+	op    Op
+	num   float64 // numeric/time comparisons
+	str   string  // string comparisons
+	isStr bool
+}
+
+// Query is a fluent scan over one table.
+type Query struct {
+	t     *Table
+	preds []pred
+	sort  int // column index, -1 for none
+	asc   bool
+	limit int
+	err   error
+}
+
+// Select begins a query on the table.
+func (t *Table) Select() *Query {
+	return &Query{t: t, sort: -1, limit: -1, asc: true}
+}
+
+// Where adds a predicate. v may be int64, int, float64, time.Time or
+// string; type mismatches surface at Rows().
+func (q *Query) Where(col string, op Op, v any) *Query {
+	if q.err != nil {
+		return q
+	}
+	ci := q.t.ColIndex(col)
+	if ci < 0 {
+		q.err = fmt.Errorf("mscopedb: %s: no column %q", q.t.name, col)
+		return q
+	}
+	p := pred{col: ci, op: op}
+	switch x := v.(type) {
+	case int:
+		p.num = float64(x)
+	case int64:
+		p.num = float64(x)
+	case float64:
+		p.num = x
+	case time.Duration:
+		p.num = float64(x.Microseconds())
+	case time.Time:
+		p.num = float64(x.UnixMicro())
+	case string:
+		p.str = x
+		p.isStr = true
+	default:
+		q.err = fmt.Errorf("mscopedb: %s.%s: unsupported predicate value %T", q.t.name, col, v)
+		return q
+	}
+	if p.isStr != (q.t.cols[ci].Type == TString) {
+		q.err = fmt.Errorf("mscopedb: %s.%s: predicate type %T against %v column",
+			q.t.name, col, v, q.t.cols[ci].Type)
+		return q
+	}
+	if p.isStr && op != OpEq && op != OpNe {
+		q.err = fmt.Errorf("mscopedb: %s.%s: operator %v unsupported for strings", q.t.name, col, op)
+		return q
+	}
+	q.preds = append(q.preds, p)
+	return q
+}
+
+// Between adds lo <= col <= hi.
+func (q *Query) Between(col string, lo, hi any) *Query {
+	return q.Where(col, OpGe, lo).Where(col, OpLe, hi)
+}
+
+// OrderBy sorts the result by the column.
+func (q *Query) OrderBy(col string, asc bool) *Query {
+	if q.err != nil {
+		return q
+	}
+	ci := q.t.ColIndex(col)
+	if ci < 0 {
+		q.err = fmt.Errorf("mscopedb: %s: no column %q", q.t.name, col)
+		return q
+	}
+	q.sort = ci
+	q.asc = asc
+	return q
+}
+
+// Limit caps the result size (applied after ordering).
+func (q *Query) Limit(n int) *Query {
+	q.limit = n
+	return q
+}
+
+// Rows executes the scan.
+func (q *Query) Rows() (*Result, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	t := q.t
+	var idx []int
+scan:
+	for r := 0; r < t.rows; r++ {
+		for _, p := range q.preds {
+			if !p.match(t, r) {
+				continue scan
+			}
+		}
+		idx = append(idx, r)
+	}
+	if q.sort >= 0 {
+		ci := q.sort
+		if t.cols[ci].Type == TString {
+			sort.SliceStable(idx, func(i, j int) bool {
+				a, b := t.Str(ci, idx[i]), t.Str(ci, idx[j])
+				if q.asc {
+					return a < b
+				}
+				return a > b
+			})
+		} else {
+			sort.SliceStable(idx, func(i, j int) bool {
+				a, _ := t.numeric(ci, idx[i])
+				b, _ := t.numeric(ci, idx[j])
+				if q.asc {
+					return a < b
+				}
+				return a > b
+			})
+		}
+	}
+	if q.limit >= 0 && len(idx) > q.limit {
+		idx = idx[:q.limit]
+	}
+	return &Result{t: t, idx: idx}, nil
+}
+
+func (p pred) match(t *Table, row int) bool {
+	if p.isStr {
+		s := t.Str(p.col, row)
+		if p.op == OpEq {
+			return s == p.str
+		}
+		return s != p.str
+	}
+	v, ok := t.numeric(p.col, row)
+	if !ok {
+		return false
+	}
+	switch p.op {
+	case OpEq:
+		return v == p.num
+	case OpNe:
+		return v != p.num
+	case OpLt:
+		return v < p.num
+	case OpLe:
+		return v <= p.num
+	case OpGt:
+		return v > p.num
+	case OpGe:
+		return v >= p.num
+	default:
+		return false
+	}
+}
+
+// Result is a materialized row selection.
+type Result struct {
+	t   *Table
+	idx []int
+}
+
+// Len returns the selected row count.
+func (r *Result) Len() int { return len(r.idx) }
+
+// Table returns the underlying table.
+func (r *Result) Table() *Table { return r.t }
+
+// Ints extracts an int column.
+func (r *Result) Ints(col string) ([]int64, error) {
+	ci, err := r.colOfType(col, TInt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(r.idx))
+	for i, row := range r.idx {
+		out[i] = r.t.Int(ci, row)
+	}
+	return out, nil
+}
+
+// Floats extracts a numeric column coerced to float64 (int, float or time).
+func (r *Result) Floats(col string) ([]float64, error) {
+	ci := r.t.ColIndex(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("mscopedb: %s: no column %q", r.t.name, col)
+	}
+	if r.t.cols[ci].Type == TString {
+		return nil, fmt.Errorf("mscopedb: %s.%s: string column is not numeric", r.t.name, col)
+	}
+	out := make([]float64, len(r.idx))
+	for i, row := range r.idx {
+		v, _ := r.t.numeric(ci, row)
+		out[i] = v
+	}
+	return out, nil
+}
+
+// TimesMicros extracts a time column as microsecond epochs.
+func (r *Result) TimesMicros(col string) ([]int64, error) {
+	ci, err := r.colOfType(col, TTime)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(r.idx))
+	for i, row := range r.idx {
+		out[i] = r.t.TimeMicros(ci, row)
+	}
+	return out, nil
+}
+
+// Strings extracts a string column.
+func (r *Result) Strings(col string) ([]string, error) {
+	ci, err := r.colOfType(col, TString)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(r.idx))
+	for i, row := range r.idx {
+		out[i] = r.t.Str(ci, row)
+	}
+	return out, nil
+}
+
+// Row returns row i's cells as any values, schema-ordered.
+func (r *Result) Row(i int) []any {
+	row := r.idx[i]
+	out := make([]any, len(r.t.cols))
+	for c := range r.t.cols {
+		out[c] = r.t.Value(c, row)
+	}
+	return out
+}
+
+func (r *Result) colOfType(col string, want Type) (int, error) {
+	ci := r.t.ColIndex(col)
+	if ci < 0 {
+		return -1, fmt.Errorf("mscopedb: %s: no column %q", r.t.name, col)
+	}
+	if r.t.cols[ci].Type != want {
+		return -1, fmt.Errorf("mscopedb: %s.%s: is %v, want %v",
+			r.t.name, col, r.t.cols[ci].Type, want)
+	}
+	return ci, nil
+}
+
+// AggFn is a window aggregation function.
+type AggFn int
+
+// Aggregation functions.
+const (
+	AggAvg AggFn = iota + 1
+	AggMax
+	AggMin
+	AggSum
+	AggCount
+	AggP99
+)
+
+func (f AggFn) String() string {
+	switch f {
+	case AggAvg:
+		return "avg"
+	case AggMax:
+		return "max"
+	case AggMin:
+		return "min"
+	case AggSum:
+		return "sum"
+	case AggCount:
+		return "count"
+	case AggP99:
+		return "p99"
+	default:
+		return fmt.Sprintf("AggFn(%d)", int(f))
+	}
+}
+
+// ParseAggFn inverts AggFn.String.
+func ParseAggFn(s string) (AggFn, error) {
+	switch s {
+	case "avg":
+		return AggAvg, nil
+	case "max":
+		return AggMax, nil
+	case "min":
+		return AggMin, nil
+	case "sum":
+		return AggSum, nil
+	case "count":
+		return AggCount, nil
+	case "p99":
+		return AggP99, nil
+	default:
+		return 0, fmt.Errorf("mscopedb: unknown aggregate %q", s)
+	}
+}
+
+// Series is a window-aggregated time series.
+type Series struct {
+	// StartMicros are the window start timestamps.
+	StartMicros []int64
+	// Values are the aggregated values per window.
+	Values []float64
+}
+
+// WindowAgg buckets the selection by a time-like column (TTime or TInt
+// microsecond epochs) into fixed windows and aggregates a value column in
+// each. Empty windows between the first and last populated ones yield 0
+// for count/sum and NaN-free carry of zero for the others.
+func (r *Result) WindowAgg(timeCol string, window time.Duration, valCol string, fn AggFn) (*Series, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("mscopedb: non-positive window %v", window)
+	}
+	tci := r.t.ColIndex(timeCol)
+	if tci < 0 {
+		return nil, fmt.Errorf("mscopedb: %s: no column %q", r.t.name, timeCol)
+	}
+	switch r.t.cols[tci].Type {
+	case TTime, TInt:
+	default:
+		return nil, fmt.Errorf("mscopedb: %s.%s: not a time-like column", r.t.name, timeCol)
+	}
+	vci := -1
+	if fn != AggCount {
+		vci = r.t.ColIndex(valCol)
+		if vci < 0 {
+			return nil, fmt.Errorf("mscopedb: %s: no column %q", r.t.name, valCol)
+		}
+		if r.t.cols[vci].Type == TString {
+			return nil, fmt.Errorf("mscopedb: %s.%s: cannot aggregate strings", r.t.name, valCol)
+		}
+	}
+	if len(r.idx) == 0 {
+		return &Series{}, nil
+	}
+	w := window.Microseconds()
+	buckets := make(map[int64][]float64)
+	var lo, hi int64
+	first := true
+	timeOf := func(row int) int64 {
+		if r.t.cols[tci].Type == TTime {
+			return r.t.TimeMicros(tci, row)
+		}
+		return r.t.Int(tci, row)
+	}
+	for _, row := range r.idx {
+		ts := timeOf(row)
+		b := ts - mod(ts, w)
+		var v float64
+		if vci >= 0 {
+			v, _ = r.t.numeric(vci, row)
+		}
+		buckets[b] = append(buckets[b], v)
+		if first || b < lo {
+			lo = b
+		}
+		if first || b > hi {
+			hi = b
+		}
+		first = false
+	}
+	var s Series
+	for b := lo; b <= hi; b += w {
+		s.StartMicros = append(s.StartMicros, b)
+		s.Values = append(s.Values, aggregate(fn, buckets[b]))
+	}
+	return &s, nil
+}
+
+func mod(a, b int64) int64 {
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}
+
+func aggregate(fn AggFn, vals []float64) float64 {
+	if fn == AggCount {
+		return float64(len(vals))
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	switch fn {
+	case AggAvg:
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return s / float64(len(vals))
+	case AggMax:
+		m := math.Inf(-1)
+		for _, v := range vals {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	case AggMin:
+		m := math.Inf(1)
+		for _, v := range vals {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	case AggSum:
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return s
+	case AggP99:
+		sorted := make([]float64, len(vals))
+		copy(sorted, vals)
+		sort.Float64s(sorted)
+		return sorted[len(sorted)*99/100]
+	default:
+		panic(fmt.Sprintf("mscopedb: unknown aggregate %v", fn))
+	}
+}

@@ -1,0 +1,281 @@
+// Package mscopedb implements mScopeDB (paper Section III-C): a dynamic
+// data warehouse whose tables are created on the fly by the import
+// pipeline. Four static metadata tables record experiment configuration
+// and data-loading provenance; dynamic tables hold the monitoring data.
+//
+// Storage is columnar and typed (int64, float64, microsecond-epoch time,
+// string) — the shape the bottom-up schema inference of the XMLtoCSV
+// converter produces — and a small scan/filter/window-aggregate engine
+// serves the analysis layer.
+package mscopedb
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/mxml"
+)
+
+// Type is a column's storage type.
+type Type int
+
+// Column types, narrowest first (the inference lattice's numeric arm).
+const (
+	TInt Type = iota + 1
+	TFloat
+	TTime
+	TString
+)
+
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TTime:
+		return "time"
+	case TString:
+		return "string"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// ParseType inverts Type.String for schema sidecar files.
+func ParseType(s string) (Type, error) {
+	switch s {
+	case "int":
+		return TInt, nil
+	case "float":
+		return TFloat, nil
+	case "time":
+		return TTime, nil
+	case "string":
+		return TString, nil
+	default:
+		return 0, fmt.Errorf("mscopedb: unknown type %q", s)
+	}
+}
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// colData holds one column's values; exactly one slice is used, selected
+// by the column type. Times are microsecond epochs.
+type colData struct {
+	Ints   []int64
+	Floats []float64
+	Times  []int64
+	Strs   []string
+}
+
+// Table is one warehouse table.
+type Table struct {
+	name   string
+	cols   []Column
+	colIdx map[string]int
+	data   []colData
+	rows   int
+}
+
+// NewTable builds an empty table; column names must be unique and
+// non-empty.
+func NewTable(name string, cols []Column) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("mscopedb: table with empty name")
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("mscopedb: table %q with no columns", name)
+	}
+	idx := make(map[string]int, len(cols))
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("mscopedb: table %q column %d has empty name", name, i)
+		}
+		if c.Type < TInt || c.Type > TString {
+			return nil, fmt.Errorf("mscopedb: table %q column %q has invalid type", name, c.Name)
+		}
+		if _, dup := idx[c.Name]; dup {
+			return nil, fmt.Errorf("mscopedb: table %q duplicate column %q", name, c.Name)
+		}
+		idx[c.Name] = i
+	}
+	colsCopy := make([]Column, len(cols))
+	copy(colsCopy, cols)
+	return &Table{
+		name:   name,
+		cols:   colsCopy,
+		colIdx: idx,
+		data:   make([]colData, len(cols)),
+	}, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Rows returns the row count.
+func (t *Table) Rows() int { return t.rows }
+
+// Columns returns a copy of the schema.
+func (t *Table) Columns() []Column {
+	out := make([]Column, len(t.cols))
+	copy(out, t.cols)
+	return out
+}
+
+// ColIndex returns the index of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	i, ok := t.colIdx[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Append adds one row; values must match the schema positionally with Go
+// types int64, float64, time.Time and string.
+func (t *Table) Append(values ...any) error {
+	if len(values) != len(t.cols) {
+		return fmt.Errorf("mscopedb: %s: %d values for %d columns", t.name, len(values), len(t.cols))
+	}
+	for i, v := range values {
+		switch t.cols[i].Type {
+		case TInt:
+			x, ok := v.(int64)
+			if !ok {
+				return fmt.Errorf("mscopedb: %s.%s: %T is not int64", t.name, t.cols[i].Name, v)
+			}
+			t.data[i].Ints = append(t.data[i].Ints, x)
+		case TFloat:
+			x, ok := v.(float64)
+			if !ok {
+				return fmt.Errorf("mscopedb: %s.%s: %T is not float64", t.name, t.cols[i].Name, v)
+			}
+			t.data[i].Floats = append(t.data[i].Floats, x)
+		case TTime:
+			x, ok := v.(time.Time)
+			if !ok {
+				return fmt.Errorf("mscopedb: %s.%s: %T is not time.Time", t.name, t.cols[i].Name, v)
+			}
+			t.data[i].Times = append(t.data[i].Times, x.UnixMicro())
+		case TString:
+			x, ok := v.(string)
+			if !ok {
+				return fmt.Errorf("mscopedb: %s.%s: %T is not string", t.name, t.cols[i].Name, v)
+			}
+			t.data[i].Strs = append(t.data[i].Strs, x)
+		}
+	}
+	t.rows++
+	return nil
+}
+
+// AppendStrings parses one CSV-shaped row against the schema (the import
+// path). Empty cells load as the column's zero value except strings, which
+// load as the empty string.
+func (t *Table) AppendStrings(raw []string) error {
+	if len(raw) != len(t.cols) {
+		return fmt.Errorf("mscopedb: %s: %d cells for %d columns", t.name, len(raw), len(t.cols))
+	}
+	for i, s := range raw {
+		switch t.cols[i].Type {
+		case TInt:
+			var x int64
+			if s != "" {
+				var err error
+				x, err = strconv.ParseInt(s, 10, 64)
+				if err != nil {
+					return fmt.Errorf("mscopedb: %s.%s: parse int %q: %w", t.name, t.cols[i].Name, s, err)
+				}
+			}
+			t.data[i].Ints = append(t.data[i].Ints, x)
+		case TFloat:
+			var x float64
+			if s != "" {
+				var err error
+				x, err = strconv.ParseFloat(s, 64)
+				if err != nil {
+					return fmt.Errorf("mscopedb: %s.%s: parse float %q: %w", t.name, t.cols[i].Name, s, err)
+				}
+			}
+			t.data[i].Floats = append(t.data[i].Floats, x)
+		case TTime:
+			var x int64
+			if s != "" {
+				ts, err := time.Parse(mxml.TimeLayout, s)
+				if err != nil {
+					return fmt.Errorf("mscopedb: %s.%s: parse time %q: %w", t.name, t.cols[i].Name, s, err)
+				}
+				x = ts.UnixMicro()
+			}
+			t.data[i].Times = append(t.data[i].Times, x)
+		case TString:
+			t.data[i].Strs = append(t.data[i].Strs, s)
+		}
+	}
+	t.rows++
+	return nil
+}
+
+// Int returns an int cell.
+func (t *Table) Int(col, row int) int64 { return t.data[col].Ints[row] }
+
+// Float returns a float cell.
+func (t *Table) Float(col, row int) float64 { return t.data[col].Floats[row] }
+
+// TimeMicros returns a time cell as a microsecond epoch.
+func (t *Table) TimeMicros(col, row int) int64 { return t.data[col].Times[row] }
+
+// Str returns a string cell.
+func (t *Table) Str(col, row int) string { return t.data[col].Strs[row] }
+
+// Value returns a cell as any (int64, float64, time.Time or string).
+func (t *Table) Value(col, row int) any {
+	switch t.cols[col].Type {
+	case TInt:
+		return t.data[col].Ints[row]
+	case TFloat:
+		return t.data[col].Floats[row]
+	case TTime:
+		return time.UnixMicro(t.data[col].Times[row]).UTC()
+	case TString:
+		return t.data[col].Strs[row]
+	default:
+		panic(fmt.Sprintf("mscopedb: invalid column type %v", t.cols[col].Type))
+	}
+}
+
+// SizeBytes estimates the table's in-memory data footprint: 8 bytes per
+// numeric/time cell, string header plus content per string cell. The
+// schema-typing ablation compares typed against all-string schemas with it.
+func (t *Table) SizeBytes() int64 {
+	var total int64
+	for i := range t.data {
+		cd := &t.data[i]
+		total += int64(len(cd.Ints)+len(cd.Floats)+len(cd.Times)) * 8
+		for _, s := range cd.Strs {
+			total += int64(len(s)) + 16
+		}
+	}
+	return total
+}
+
+// numeric returns a cell coerced to float64 for predicates and
+// aggregation; times coerce to their microsecond epoch.
+func (t *Table) numeric(col, row int) (float64, bool) {
+	switch t.cols[col].Type {
+	case TInt:
+		return float64(t.data[col].Ints[row]), true
+	case TFloat:
+		return t.data[col].Floats[row], true
+	case TTime:
+		return float64(t.data[col].Times[row]), true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,132 @@
+// Package netcap is the software equivalent of the network taps feeding
+// Fujitsu SysViz: it records every inter-tier message (connection, src,
+// dst, wire send/receive times, size) with no request identifiers. The
+// sysviz package reconstructs transactions from this capture alone.
+package netcap
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/gt-elba/milliscope/internal/des"
+	"github.com/gt-elba/milliscope/internal/ntier"
+)
+
+// Capture accumulates tapped messages in arrival order.
+type Capture struct {
+	msgs []ntier.Message
+}
+
+var _ ntier.MessageObserver = (*Capture)(nil)
+
+// New returns an empty capture; install it with System.SetCapture.
+func New() *Capture { return &Capture{} }
+
+// OnMessage records one tapped message.
+func (c *Capture) OnMessage(m ntier.Message) { c.msgs = append(c.msgs, m) }
+
+// Len returns the number of captured messages.
+func (c *Capture) Len() int { return len(c.msgs) }
+
+// Messages returns the capture in arrival order. The returned slice is a
+// copy.
+func (c *Capture) Messages() []ntier.Message {
+	out := make([]ntier.Message, len(c.msgs))
+	copy(out, c.msgs)
+	return out
+}
+
+// csvHeader is the trace-file column layout.
+var csvHeader = []string{"conn", "src", "dst", "kind", "sent_ns", "recv_ns", "bytes", "req_serial"}
+
+// WriteCSV dumps the capture to a trace file for offline reconstruction.
+func (c *Capture) WriteCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("netcap: create %s: %w", path, err)
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(f, 1<<16)
+	w := csv.NewWriter(bw)
+	if err := w.Write(csvHeader); err != nil {
+		return fmt.Errorf("netcap: write header: %w", err)
+	}
+	for _, m := range c.msgs {
+		rec := []string{
+			m.Conn, m.Src, m.Dst, m.Kind.String(),
+			strconv.FormatInt(int64(m.SentAt), 10),
+			strconv.FormatInt(int64(m.RecvAt), 10),
+			strconv.Itoa(m.Bytes),
+			strconv.FormatUint(m.ReqSerial, 10),
+		}
+		if err := w.Write(rec); err != nil {
+			return fmt.Errorf("netcap: write record: %w", err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return fmt.Errorf("netcap: flush csv: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("netcap: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV loads a trace file written by WriteCSV.
+func ReadCSV(path string) ([]ntier.Message, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("netcap: open %s: %w", path, err)
+	}
+	defer f.Close()
+	r := csv.NewReader(bufio.NewReaderSize(f, 1<<16))
+	rows, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("netcap: parse %s: %w", path, err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("netcap: %s: empty trace", path)
+	}
+	var msgs []ntier.Message
+	for i, rec := range rows[1:] {
+		if len(rec) != len(csvHeader) {
+			return nil, fmt.Errorf("netcap: %s row %d: %d columns, want %d",
+				path, i+2, len(rec), len(csvHeader))
+		}
+		var kind ntier.MsgKind
+		switch rec[3] {
+		case "REQ":
+			kind = ntier.MsgRequest
+		case "RSP":
+			kind = ntier.MsgResponse
+		default:
+			return nil, fmt.Errorf("netcap: %s row %d: unknown kind %q", path, i+2, rec[3])
+		}
+		sent, err := strconv.ParseInt(rec[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("netcap: %s row %d: sent: %w", path, i+2, err)
+		}
+		recv, err := strconv.ParseInt(rec[5], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("netcap: %s row %d: recv: %w", path, i+2, err)
+		}
+		bytes, err := strconv.Atoi(rec[6])
+		if err != nil {
+			return nil, fmt.Errorf("netcap: %s row %d: bytes: %w", path, i+2, err)
+		}
+		serial, err := strconv.ParseUint(rec[7], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("netcap: %s row %d: serial: %w", path, i+2, err)
+		}
+		msgs = append(msgs, ntier.Message{
+			Conn: rec[0], Src: rec[1], Dst: rec[2], Kind: kind,
+			SentAt: des.Time(sent), RecvAt: des.Time(recv),
+			Bytes: bytes, ReqSerial: serial,
+		})
+	}
+	return msgs, nil
+}

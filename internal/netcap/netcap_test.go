@@ -1,0 +1,64 @@
+package netcap
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/gt-elba/milliscope/internal/ntier"
+)
+
+func sample() []ntier.Message {
+	return []ntier.Message{
+		{Conn: "c1", Src: "client", Dst: "web", Kind: ntier.MsgRequest,
+			SentAt: 10, RecvAt: 12, Bytes: 640, ReqSerial: 1},
+		{Conn: "w1", Src: "web", Dst: "app", Kind: ntier.MsgRequest,
+			SentAt: 15, RecvAt: 17, Bytes: 320, ReqSerial: 1},
+		{Conn: "w1", Src: "app", Dst: "web", Kind: ntier.MsgResponse,
+			SentAt: 30, RecvAt: 32, Bytes: 9000, ReqSerial: 1},
+	}
+}
+
+func TestCaptureAccumulates(t *testing.T) {
+	c := New()
+	for _, m := range sample() {
+		c.OnMessage(m)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len %d", c.Len())
+	}
+	got := c.Messages()
+	got[0].Conn = "mutated"
+	if c.Messages()[0].Conn != "c1" {
+		t.Fatal("Messages did not copy")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	c := New()
+	for _, m := range sample() {
+		c.OnMessage(m)
+	}
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := c.WriteCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if len(got) != len(want) {
+		t.Fatalf("%d messages, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("message %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadCSVMissing(t *testing.T) {
+	if _, err := ReadCSV(filepath.Join(t.TempDir(), "nope.csv")); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}

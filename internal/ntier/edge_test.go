@@ -1,0 +1,176 @@
+package ntier
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/rubbos"
+)
+
+func TestConfigValidationPanics(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Users = 0 },
+		func(c *Config) { c.Duration = 0 },
+		func(c *Config) { c.ThinkTime = 0 },
+		func(c *Config) { c.DBMissProb = 1.5 },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: invalid config accepted", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestStatsEmptyWindow(t *testing.T) {
+	cfg := smallConfig()
+	sys := New(cfg)
+	d := Run(sys)
+	// A warmup longer than the trial leaves nothing.
+	st := d.Stats(time.Hour)
+	if st.Requests != 0 || st.Throughput != 0 || st.MeanRT != 0 {
+		t.Fatalf("empty-window stats: %+v", st)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	st := RunStats{Requests: 10, Throughput: 5.5,
+		MeanRT: 3 * time.Millisecond, P99RT: 9 * time.Millisecond, MaxRT: 12 * time.Millisecond}
+	s := st.String()
+	for _, want := range []string{"requests=10", "5.5 req/s", "meanRT=3ms"} {
+		if !containsStr(s, want) {
+			t.Fatalf("stats string %q missing %q", s, want)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestNoMissReadsWithZeroProb: DBMissProb 0 must produce no disk reads.
+func TestNoMissReadsWithZeroProb(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Mix = rubbos.BrowseOnly // no commits either
+	cfg.DBMissProb = 0
+	sys := New(cfg)
+	Run(sys)
+	ro, _, _, _ := sys.DB.Node().Disk.Counters()
+	if ro != 0 {
+		t.Fatalf("%d disk reads with zero miss probability", ro)
+	}
+}
+
+// TestHighMissProbDrivesReads: every query reads when the buffer pool
+// always misses.
+func TestHighMissProbDrivesReads(t *testing.T) {
+	cfg := smallConfig()
+	cfg.DBMissProb = 1
+	sys := New(cfg)
+	Run(sys)
+	ro, _, _, _ := sys.DB.Node().Disk.Counters()
+	if uint64(ro) != sys.DB.Visits() {
+		t.Fatalf("%d reads for %d queries with miss prob 1", ro, sys.DB.Visits())
+	}
+}
+
+// TestTierKindStrings covers the stringers.
+func TestTierKindStrings(t *testing.T) {
+	cases := map[TierKind]string{
+		TierWeb: "web", TierApp: "app", TierMiddleware: "middleware", TierDB: "db",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Fatalf("%d → %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if MsgRequest.String() != "REQ" || MsgResponse.String() != "RSP" {
+		t.Fatal("msg kind strings")
+	}
+}
+
+// TestThinkTimeControlsThroughput: halving think time roughly doubles
+// closed-loop throughput (Little's law sanity).
+func TestThinkTimeControlsThroughput(t *testing.T) {
+	run := func(think time.Duration) float64 {
+		cfg := smallConfig()
+		cfg.ThinkTime = think
+		cfg.Duration = 4 * time.Second
+		sys := New(cfg)
+		d := Run(sys)
+		return d.Stats(time.Second).Throughput
+	}
+	slow := run(600 * time.Millisecond)
+	fast := run(300 * time.Millisecond)
+	ratio := fast / slow
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("throughput ratio %.2f for halved think time, want ~2", ratio)
+	}
+}
+
+// TestClosedLoopSaturation: far past the CPU capacity of the app tier,
+// throughput stops scaling with the user population and response time
+// inflates — the classic closed-loop saturation knee. Validates that the
+// queueing model behaves like a real testbed at the high end of the
+// paper's workload axis.
+func TestClosedLoopSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation sweep skipped in -short mode")
+	}
+	run := func(users int) RunStats {
+		cfg := DefaultConfig()
+		cfg.Users = users
+		// A fast closed loop reaches steady state within the trial.
+		cfg.ThinkTime = time.Second
+		cfg.Duration = 8 * time.Second
+		cfg.Seed = 51
+		sys := New(cfg)
+		d := Run(sys)
+		return d.Stats(2 * time.Second)
+	}
+	base := run(500)  // ~500 req/s offered, well under capacity
+	high := run(4000) // ~4000 req/s offered, past the DB tier's CPU capacity
+	if base.Throughput <= 0 {
+		t.Fatal("no baseline throughput")
+	}
+	scale := high.Throughput / base.Throughput
+	if scale > 6.5 {
+		t.Fatalf("throughput scaled %.2fx for 8x users; no saturation knee", scale)
+	}
+	if high.MeanRT < 5*base.MeanRT {
+		t.Fatalf("mean RT %v at saturation vs %v baseline; queueing delay missing",
+			high.MeanRT, base.MeanRT)
+	}
+}
+
+// TestWorkerPoolLimitsConcurrency: a tiny DB pool bounds concurrent query
+// service; the excess queues at the tier.
+func TestWorkerPoolLimitsConcurrency(t *testing.T) {
+	cfg := smallConfig()
+	cfg.DB.Workers = 2
+	cfg.Users = 100
+	cfg.ThinkTime = 100 * time.Millisecond
+	sys := New(cfg)
+	Run(sys)
+	if sys.DB.Workers().Cap() != 2 {
+		t.Fatal("pool capacity not applied")
+	}
+	if sys.DB.PeakInflight() <= 2 {
+		t.Fatalf("DB peak inflight %d; expected queueing beyond 2 workers", sys.DB.PeakInflight())
+	}
+	// The pool itself never admits more than 2 concurrently.
+	if sys.DB.Workers().InUse() != 0 {
+		t.Fatal("workers still in use after drain")
+	}
+}

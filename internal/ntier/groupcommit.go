@@ -1,0 +1,66 @@
+package ntier
+
+import (
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/des"
+	"github.com/gt-elba/milliscope/internal/resources"
+)
+
+// groupCommit batches MySQL redo-log flushes: commits arriving within one
+// flush interval share a single synchronous disk write, the standard
+// group-commit optimization. The paper's first VSB scenario (Section V-A)
+// is precisely a long flush of accumulated redo pages saturating this disk.
+type groupCommit struct {
+	eng      *des.Engine
+	disk     *resources.Disk
+	interval time.Duration
+
+	pendingKB int
+	waiters   []func()
+	scheduled bool
+	flushes   uint64
+}
+
+func newGroupCommit(eng *des.Engine, disk *resources.Disk, interval time.Duration) *groupCommit {
+	if interval <= 0 {
+		panic("ntier: non-positive group-commit interval")
+	}
+	return &groupCommit{eng: eng, disk: disk, interval: interval}
+}
+
+// Enqueue adds a commit to the current batch; done runs when the batch's
+// disk write completes (commit durability point).
+func (g *groupCommit) Enqueue(kb int, done func()) {
+	if kb <= 0 {
+		kb = 1
+	}
+	g.pendingKB += kb
+	g.waiters = append(g.waiters, done)
+	if !g.scheduled {
+		g.scheduled = true
+		g.eng.After(g.interval, g.flush)
+	}
+}
+
+func (g *groupCommit) flush() {
+	waiters := g.waiters
+	kb := g.pendingKB
+	g.waiters = nil
+	g.pendingKB = 0
+	g.scheduled = false
+	if len(waiters) == 0 {
+		return
+	}
+	g.flushes++
+	g.disk.Write(kb*1024, func() {
+		for _, w := range waiters {
+			if w != nil {
+				w()
+			}
+		}
+	})
+}
+
+// Flushes returns the number of batch writes issued.
+func (g *groupCommit) Flushes() uint64 { return g.flushes }

@@ -1,0 +1,179 @@
+// Package ntier simulates the paper's four-tier testbed: Apache (web) →
+// Tomcat (application) → C-JDBC (database middleware) → MySQL, driven by
+// closed-loop RUBBoS user sessions. Worker threads block on synchronous
+// downstream calls, so a slow lower tier exhausts upstream thread pools and
+// produces the cross-tier queue "pushback" the paper analyzes.
+//
+// The simulator produces three kinds of observable output, matching the
+// paper's measurement planes:
+//
+//   - event monitor hooks: every tier visit exposes the four boundary
+//     timestamps (Upstream Arrival/Departure, Downstream Sending/Receiving)
+//     to registered VisitObservers (the event mScopeMonitors);
+//   - node resource state: CPU/disk/memory/network counters sampled by the
+//     resource mScopeMonitors;
+//   - a network tap: every inter-tier message is reported to a
+//     MessageObserver (the SysViz comparator's input).
+package ntier
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/des"
+	"github.com/gt-elba/milliscope/internal/rubbos"
+)
+
+// TierKind identifies a tier's role in the pipeline.
+type TierKind int
+
+// The four tiers of the paper's testbed (Figure 1).
+const (
+	TierWeb TierKind = iota + 1
+	TierApp
+	TierMiddleware
+	TierDB
+)
+
+func (k TierKind) String() string {
+	switch k {
+	case TierWeb:
+		return "web"
+	case TierApp:
+		return "app"
+	case TierMiddleware:
+		return "middleware"
+	case TierDB:
+		return "db"
+	default:
+		return fmt.Sprintf("TierKind(%d)", int(k))
+	}
+}
+
+// Request is one client interaction flowing through the system.
+type Request struct {
+	// Serial is the simulator's ground-truth identity, assigned at
+	// submission. Monitors must not rely on it; the event monitors assign
+	// their own propagated ID (which happens to be derived from it, as the
+	// real Apache module derives one from a counter).
+	Serial uint64
+	// Session is the emulated user that issued the request.
+	Session int
+	// IxIndex is the RUBBoS interaction index.
+	IxIndex int
+	// Interaction is the RUBBoS interaction definition.
+	Interaction rubbos.Interaction
+	// SubmitAt and DoneAt are client-side virtual times.
+	SubmitAt des.Time
+	DoneAt   des.Time
+}
+
+// ID returns the fixed-width request identifier the Apache event monitor
+// inserts into the URL (Appendix A: "?ID=XXX").
+func (r *Request) ID() string { return fmt.Sprintf("req-%010d", r.Serial) }
+
+// Visit is one tier-level execution of a request: the unit that occupies a
+// worker thread and yields one event-monitor log record. Apache and Tomcat
+// see one visit per request; C-JDBC and MySQL see one visit per SQL query.
+type Visit struct {
+	Req    *Request
+	Server *Server
+	// Seq is the query index for per-query tiers (0 for web/app visits).
+	Seq int
+	// The paper's four boundary timestamps (Section IV-B), in virtual time.
+	// DS and DR are zero for tiers that make no downstream call.
+	UA, UD, DS, DR des.Time
+	// SQL is the statement text for DB-bound visits (with the propagated
+	// /*ID=...*/ comment when event monitors are enabled).
+	SQL string
+}
+
+// LocalTime returns the visit's tier-local processing time: total residence
+// minus time spent waiting on the downstream tier.
+func (v *Visit) LocalTime() time.Duration {
+	total := v.UD - v.UA
+	if v.DS != 0 && v.DR >= v.DS {
+		total -= v.DR - v.DS
+	}
+	return total
+}
+
+// VisitObserver receives completed visits; the event mScopeMonitors
+// implement it to write their log records.
+type VisitObserver interface {
+	OnVisitComplete(v *Visit)
+}
+
+// MsgKind distinguishes request from response messages on the wire.
+type MsgKind int
+
+// Wire message kinds.
+const (
+	MsgRequest MsgKind = iota + 1
+	MsgResponse
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MsgRequest:
+		return "REQ"
+	case MsgResponse:
+		return "RSP"
+	default:
+		return fmt.Sprintf("MsgKind(%d)", int(k))
+	}
+}
+
+// Message is one inter-tier wire message as a passive network tap sees it.
+// ReqSerial is ground truth carried for accuracy evaluation only; the
+// SysViz reconstructor must not consult it when building traces.
+type Message struct {
+	Conn      string
+	Src, Dst  string
+	Kind      MsgKind
+	SentAt    des.Time
+	RecvAt    des.Time
+	Bytes     int
+	ReqSerial uint64
+}
+
+// MessageObserver receives every wire message (the network tap).
+type MessageObserver interface {
+	OnMessage(m Message)
+}
+
+// connPool hands out persistent-connection identifiers for calls between a
+// fixed (src, dst) tier pair. A connection carries one outstanding request
+// at a time (workers block synchronously), matching ModJK / JDBC pools.
+type connPool struct {
+	prefix string
+	free   []string
+	made   int
+	limit  int
+}
+
+func newConnPool(prefix string, limit int) *connPool {
+	if limit <= 0 {
+		panic(fmt.Sprintf("ntier: conn pool %q with limit %d", prefix, limit))
+	}
+	return &connPool{prefix: prefix, limit: limit}
+}
+
+// Get returns a free connection id, growing the pool up to its limit.
+// Exceeding the limit panics: the caller sizes pools to worker counts, so
+// exhaustion indicates a flow-control bug, not a runtime condition.
+func (p *connPool) Get() string {
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free = p.free[:n-1]
+		return c
+	}
+	if p.made >= p.limit {
+		panic(fmt.Sprintf("ntier: connection pool %q exhausted (%d)", p.prefix, p.limit))
+	}
+	p.made++
+	return fmt.Sprintf("%s#%03d", p.prefix, p.made)
+}
+
+// Put returns a connection id to the pool.
+func (p *connPool) Put(c string) { p.free = append(p.free, c) }

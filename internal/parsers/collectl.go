@@ -1,0 +1,154 @@
+package parsers
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/mxml"
+)
+
+// collectlPlainParser handles collectl's brief terminal format: two '#'
+// banner lines followed by fixed-position sample rows. Rows carry only a
+// time of day; the date is supplied by the declaration's Const["date"]
+// (collectl is launched per trial, so the trial date is known).
+type collectlPlainParser struct{}
+
+var _ Parser = collectlPlainParser{}
+
+// collectlPlainCols names the value columns after the timestamp.
+var collectlPlainCols = []string{
+	"user", "sys", "wait", "kbread", "reads", "kbwrit", "writes", "free", "dirty",
+}
+
+func (collectlPlainParser) Name() string { return "collectl" }
+
+func (collectlPlainParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
+	dateStr := instr.Const["date"]
+	if dateStr == "" {
+		return fmt.Errorf("parsers: collectl plain requires Const[\"date\"]")
+	}
+	date, err := time.Parse("2006-01-02", dateStr)
+	if err != nil {
+		return fmt.Errorf("parsers: collectl date %q: %w", dateStr, err)
+	}
+	sc := newScanner(in)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") || strings.TrimSpace(line) == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != len(collectlPlainCols)+1 {
+			return fmt.Errorf("parsers: collectl line %d: %d fields, want %d",
+				lineNo, len(fields), len(collectlPlainCols)+1)
+		}
+		clock, err := time.Parse("15:04:05.000", fields[0])
+		if err != nil {
+			return fmt.Errorf("parsers: collectl line %d: timestamp %q: %w", lineNo, fields[0], err)
+		}
+		ts := time.Date(date.Year(), date.Month(), date.Day(),
+			clock.Hour(), clock.Minute(), clock.Second(), clock.Nanosecond(), time.UTC)
+		var e mxml.Entry
+		e.AddTyped("ts", ts.Format(mxml.TimeLayout), "time")
+		for i, c := range collectlPlainCols {
+			e.Add(c, fields[i+1])
+		}
+		if err := applyCommon(&e, instr); err != nil {
+			return fmt.Errorf("parsers: collectl line %d: %w", lineNo, err)
+		}
+		if err := emit(e); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("parsers: scan: %w", err)
+	}
+	return nil
+}
+
+// collectlCSVParser handles collectl's -P plot format: the header line
+// carries bracketed subsystem column names ("[CPU]User%"), which are
+// normalized into warehouse-friendly identifiers ("cpu_user"). This is the
+// paper's "one-pass customized parser" example.
+type collectlCSVParser struct{}
+
+var _ Parser = collectlCSVParser{}
+
+func (collectlCSVParser) Name() string { return "collectl-csv" }
+
+func (collectlCSVParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
+	sc := newScanner(in)
+	lineNo := 0
+	var cols []string
+	dateIdx, timeIdx := -1, -1
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if cols == nil {
+			if !strings.HasPrefix(line, "#") {
+				return fmt.Errorf("parsers: collectl-csv line %d: missing header", lineNo)
+			}
+			raw := strings.Split(strings.TrimPrefix(line, "#"), ",")
+			cols = make([]string, len(raw))
+			for i, c := range raw {
+				cols[i] = normalizeCollectlCol(c)
+				switch cols[i] {
+				case "date":
+					dateIdx = i
+				case "time":
+					timeIdx = i
+				}
+			}
+			if dateIdx < 0 || timeIdx < 0 {
+				return fmt.Errorf("parsers: collectl-csv header lacks Date/Time columns: %q", line)
+			}
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != len(cols) {
+			return fmt.Errorf("parsers: collectl-csv line %d: %d fields, want %d",
+				lineNo, len(fields), len(cols))
+		}
+		ts, err := time.Parse("20060102 15:04:05.000", fields[dateIdx]+" "+fields[timeIdx])
+		if err != nil {
+			return fmt.Errorf("parsers: collectl-csv line %d: timestamp: %w", lineNo, err)
+		}
+		var e mxml.Entry
+		e.AddTyped("ts", ts.UTC().Format(mxml.TimeLayout), "time")
+		for i, c := range cols {
+			if i == dateIdx || i == timeIdx {
+				continue
+			}
+			e.Add(c, fields[i])
+		}
+		if err := applyCommon(&e, instr); err != nil {
+			return fmt.Errorf("parsers: collectl-csv line %d: %w", lineNo, err)
+		}
+		if err := emit(e); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("parsers: scan: %w", err)
+	}
+	if cols == nil {
+		return fmt.Errorf("parsers: collectl-csv: empty file")
+	}
+	return nil
+}
+
+// normalizeCollectlCol converts "[CPU]User%" to "cpu_user".
+func normalizeCollectlCol(c string) string {
+	c = strings.TrimSpace(c)
+	c = strings.ReplaceAll(c, "%", "")
+	c = strings.ReplaceAll(c, "[", "")
+	c = strings.ReplaceAll(c, "]", "_")
+	return strings.ToLower(c)
+}

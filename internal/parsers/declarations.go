@@ -1,0 +1,37 @@
+package parsers
+
+// Canonical instruction sets for the event mScopeMonitor log formats. The
+// Parsing Declaration stage (internal/transform) binds these to file
+// patterns; they live here so tests and custom pipelines can reuse them.
+
+// ApacheInstructions declares the extended access-log format: the standard
+// combined prefix plus D= response time and the four boundary timestamps.
+func ApacheInstructions() Instructions {
+	return Instructions{
+		Pattern: `^(?P<client>\S+) \S+ \S+ \[(?P<ltime>[^\]]+)\] "(?P<method>\S+) (?P<uri>\S+) HTTP/[\d.]+" (?P<status>\d+) (?P<bytes>\d+) D=(?P<rt_us>\d+) UA=(?P<ua>\d+) UD=(?P<ud>\d+) DS=(?P<ds>\S+) DR=(?P<dr>\S+)$`,
+		Derive: []DeriveRule{
+			{Field: "uri", Pattern: `[?&]ID=(?P<reqid>req-\d+)`, Optional: true},
+		},
+		Times: []TimeRule{
+			{Field: "ltime", Layout: "02/Jan/2006:15:04:05.000 -0700"},
+		},
+	}
+}
+
+// TomcatInstructions declares the Tomcat event-monitor log line.
+func TomcatInstructions() Instructions {
+	return Instructions{
+		Pattern: `^(?P<ltime>\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2}\.\d{3}) \[(?P<thread>[^\]]+)\] INFO  mScope - id=(?P<reqid>req-\d+) uri=(?P<uri>\S+) ua=(?P<ua>\d+) ud=(?P<ud>\d+) ds=(?P<ds>\S+) dr=(?P<dr>\S+)$`,
+		Times: []TimeRule{
+			{Field: "ltime", Layout: "2006-01-02 15:04:05.000"},
+		},
+	}
+}
+
+// CJDBCInstructions declares the C-JDBC controller log line (one per
+// proxied query).
+func CJDBCInstructions() Instructions {
+	return Instructions{
+		Pattern: `^\[cjdbc-ctrl\] (?P<epoch>\d+\.\d{6}) vdb=(?P<vdb>\S+) req=(?P<reqid>req-\d+) q=(?P<q>\d+) ua=(?P<ua>\d+) ud=(?P<ud>\d+) ds=(?P<ds>\S+) dr=(?P<dr>\S+) sql="(?P<sql>.*)"$`,
+	}
+}

@@ -1,0 +1,127 @@
+package parsers
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strings"
+
+	"github.com/gt-elba/milliscope/internal/mxml"
+)
+
+// scanner wraps bufio.Scanner with a generous line limit (SQL statements
+// and URLs can be long) and line counting for error messages.
+func newScanner(in io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return sc
+}
+
+// tokenParser is the generic single-line regex parser ("specific string
+// tokens, expressed as regular expressions" in the paper).
+type tokenParser struct{}
+
+var _ Parser = tokenParser{}
+
+func (tokenParser) Name() string { return "token" }
+
+func (tokenParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
+	if instr.Pattern == "" {
+		return fmt.Errorf("parsers: token mode requires a pattern")
+	}
+	re, err := compile(instr.Pattern)
+	if err != nil {
+		return err
+	}
+	sc := newScanner(in)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if lineNo <= instr.HeaderLines || strings.TrimSpace(line) == "" {
+			continue
+		}
+		m := re.FindStringSubmatch(line)
+		if m == nil {
+			if instr.SkipUnmatched {
+				continue
+			}
+			return fmt.Errorf("parsers: line %d does not match token pattern: %q", lineNo, line)
+		}
+		var e mxml.Entry
+		groupsToEntry(&e, re, m)
+		if err := applyCommon(&e, instr); err != nil {
+			return fmt.Errorf("parsers: line %d: %w", lineNo, err)
+		}
+		if err := emit(e); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("parsers: scan: %w", err)
+	}
+	return nil
+}
+
+// linesParser is the generic fixed-size line-group parser ("the sequence
+// of lines in a file" instruction style).
+type linesParser struct{}
+
+var _ Parser = linesParser{}
+
+func (linesParser) Name() string { return "lines" }
+
+func (linesParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
+	if len(instr.Group) == 0 {
+		return fmt.Errorf("parsers: lines mode requires group rules")
+	}
+	compiled := make([]*regexp.Regexp, len(instr.Group))
+	for i, r := range instr.Group {
+		re, err := compile(r.Pattern)
+		if err != nil {
+			return err
+		}
+		compiled[i] = re
+	}
+	sc := newScanner(in)
+	lineNo := 0
+	var e mxml.Entry
+	idx := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if lineNo <= instr.HeaderLines {
+			continue
+		}
+		if idx == 0 && strings.TrimSpace(line) == "" {
+			continue // blank separators between groups
+		}
+		re := compiled[idx]
+		m := re.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("parsers: line %d does not match group rule %d (%q): %q",
+				lineNo, idx, instr.Group[idx].Pattern, line)
+		}
+		groupsToEntry(&e, re, m)
+		idx++
+		if idx == len(compiled) {
+			if err := applyCommon(&e, instr); err != nil {
+				return fmt.Errorf("parsers: record ending line %d: %w", lineNo, err)
+			}
+			if err := emit(e); err != nil {
+				return err
+			}
+			e = mxml.Entry{}
+			idx = 0
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("parsers: scan: %w", err)
+	}
+	if idx != 0 {
+		return fmt.Errorf("parsers: truncated record at end of file (got %d of %d lines)",
+			idx, len(compiled))
+	}
+	return nil
+}

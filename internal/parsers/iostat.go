@@ -1,0 +1,104 @@
+package parsers
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/mxml"
+)
+
+// iostatParser handles `iostat -tx` output: repeated reports of a
+// timestamp line, an avg-cpu block, and a device table. One entry is
+// emitted per device row, carrying both the device metrics and the
+// report's CPU percentages.
+type iostatParser struct{}
+
+var _ Parser = iostatParser{}
+
+// iostat column names for the device table, matching the extended format.
+var iostatDevCols = []string{
+	"rrqm_s", "wrqm_s", "r_s", "w_s", "rkb_s", "wkb_s",
+	"avgrq_sz", "avgqu_sz", "await", "r_await", "w_await", "svctm", "util",
+}
+
+// iostat avg-cpu column names.
+var iostatCPUCols = []string{"user", "nice", "system", "iowait", "steal", "idle"}
+
+func (iostatParser) Name() string { return "iostat" }
+
+func (iostatParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
+	sc := newScanner(in)
+	lineNo := 0
+	var ts time.Time
+	haveTS := false
+	var cpu []string
+	expectCPU := false
+	inDevices := false
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == "":
+			inDevices = false
+		case strings.HasPrefix(line, "Linux "):
+			// banner; per-report timestamps carry their own date
+		case strings.HasPrefix(line, "avg-cpu:"):
+			expectCPU = true
+		case expectCPU:
+			expectCPU = false
+			cpu = strings.Fields(trimmed)
+			if len(cpu) != len(iostatCPUCols) {
+				return fmt.Errorf("parsers: iostat line %d: avg-cpu has %d fields, want %d",
+					lineNo, len(cpu), len(iostatCPUCols))
+			}
+		case strings.HasPrefix(line, "Device:"):
+			inDevices = true
+		case inDevices:
+			if !haveTS || cpu == nil {
+				return fmt.Errorf("parsers: iostat line %d: device row before timestamp/cpu", lineNo)
+			}
+			e, err := iostatDeviceRow(trimmed, ts, cpu)
+			if err != nil {
+				return fmt.Errorf("parsers: iostat line %d: %w", lineNo, err)
+			}
+			if err := applyCommon(&e, instr); err != nil {
+				return fmt.Errorf("parsers: iostat line %d: %w", lineNo, err)
+			}
+			if err := emit(e); err != nil {
+				return err
+			}
+		default:
+			t, err := time.Parse("01/02/2006 15:04:05.000", trimmed)
+			if err != nil {
+				return fmt.Errorf("parsers: iostat line %d: unrecognized line %q", lineNo, line)
+			}
+			ts = t.UTC()
+			haveTS = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("parsers: scan: %w", err)
+	}
+	return nil
+}
+
+func iostatDeviceRow(line string, ts time.Time, cpu []string) (mxml.Entry, error) {
+	var e mxml.Entry
+	fields := strings.Fields(line)
+	if len(fields) != len(iostatDevCols)+1 {
+		return e, fmt.Errorf("device row has %d fields, want %d: %q",
+			len(fields), len(iostatDevCols)+1, line)
+	}
+	e.AddTyped("ts", ts.Format(mxml.TimeLayout), "time")
+	e.Add("device", fields[0])
+	for i, c := range iostatDevCols {
+		e.Add(c, fields[i+1])
+	}
+	for i, c := range iostatCPUCols {
+		e.Add("cpu_"+c, cpu[i])
+	}
+	return e, nil
+}

@@ -1,0 +1,201 @@
+// Package parsers implements the mScopeParsers of the transformation
+// pipeline (paper Section III-B): each parser enriches one monitor's raw
+// log into the annotated-XML representation, driven by declarative
+// instructions.
+//
+// Two generic parsers cover most monitors, matching the paper's two
+// instruction styles:
+//
+//   - "token": a regular expression with named groups applied per line
+//     (Apache, Tomcat, C-JDBC event logs);
+//   - "lines": positional rules over fixed-size line groups (the MySQL
+//     slow-query log's five-line records).
+//
+// Where the two generic methods are insufficient the pipeline falls back
+// to customized parsers, exactly as the paper did for SAR: the sar text
+// format scatters the date into the banner line and the time into each
+// row, iostat interleaves three block types, and collectl's two formats
+// carry their schema in their headers.
+package parsers
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/mxml"
+)
+
+// Emit receives parsed entries; the transformer wires it to an mxml.Writer.
+type Emit func(mxml.Entry) error
+
+// Parser converts one raw log stream into annotated entries.
+type Parser interface {
+	// Name returns the registry name.
+	Name() string
+	// Parse reads the log and emits one entry per record.
+	Parse(in io.Reader, instr Instructions, emit Emit) error
+}
+
+// Instructions is the declarative specification recorded by the Parsing
+// Declaration stage: how a parser should inject semantics into its input.
+type Instructions struct {
+	// Pattern is the token-mode regular expression; every named group
+	// becomes a field.
+	Pattern string
+	// SkipUnmatched makes token mode ignore non-matching lines instead of
+	// failing the file.
+	SkipUnmatched bool
+
+	// HeaderLines are skipped at the start of the file.
+	HeaderLines int
+	// Group is the lines-mode rule list: rule i applies to line i of each
+	// fixed-size record.
+	Group []LineRule
+
+	// Derive enriches extracted fields with further named-group matches
+	// (e.g. pulling the request ID out of a URL or SQL comment).
+	Derive []DeriveRule
+	// Times normalizes named fields to the canonical mxml time encoding.
+	Times []TimeRule
+	// Const fields are injected into every entry (e.g. the host name).
+	Const map[string]string
+}
+
+// LineRule matches one line within a lines-mode record.
+type LineRule struct {
+	// Pattern is a regular expression with named groups.
+	Pattern string
+}
+
+// DeriveRule extracts additional fields from an already-extracted field.
+type DeriveRule struct {
+	// Field is the source field name.
+	Field string
+	// Pattern is a regular expression with named groups; each group
+	// becomes a new field.
+	Pattern string
+	// Optional suppresses the error when the pattern does not match (the
+	// derived fields are simply absent).
+	Optional bool
+}
+
+// TimeRule normalizes a field from a source layout to mxml.TimeLayout and
+// hints it as a time.
+type TimeRule struct {
+	// Field is the field to normalize.
+	Field string
+	// Layout is the Go reference layout of the raw value.
+	Layout string
+}
+
+// Get returns the registered parser with the given name.
+func Get(name string) (Parser, error) {
+	switch name {
+	case "token":
+		return tokenParser{}, nil
+	case "lines":
+		return linesParser{}, nil
+	case "mysql-slow":
+		return mysqlSlowParser{}, nil
+	case "sar":
+		return sarParser{}, nil
+	case "sar-xml":
+		return sarXMLParser{}, nil
+	case "iostat":
+		return iostatParser{}, nil
+	case "collectl":
+		return collectlPlainParser{}, nil
+	case "collectl-csv":
+		return collectlCSVParser{}, nil
+	case "pidstat":
+		return pidstatParser{}, nil
+	default:
+		return nil, fmt.Errorf("parsers: unknown parser %q", name)
+	}
+}
+
+// Names lists every registered parser.
+func Names() []string {
+	return []string{"token", "lines", "mysql-slow", "sar", "sar-xml",
+		"iostat", "collectl", "collectl-csv", "pidstat"}
+}
+
+// applyCommon applies Derive rules, Times normalization and Const fields
+// to an entry, in that order.
+func applyCommon(e *mxml.Entry, instr Instructions) error {
+	for _, d := range instr.Derive {
+		src, ok := e.Get(d.Field)
+		if !ok {
+			if d.Optional {
+				continue
+			}
+			return fmt.Errorf("parsers: derive source field %q absent", d.Field)
+		}
+		re, err := compile(d.Pattern)
+		if err != nil {
+			return err
+		}
+		m := re.FindStringSubmatch(src)
+		if m == nil {
+			if d.Optional {
+				continue
+			}
+			return fmt.Errorf("parsers: derive pattern %q did not match %q", d.Pattern, src)
+		}
+		for i, name := range re.SubexpNames() {
+			if i == 0 || name == "" {
+				continue
+			}
+			e.Add(name, m[i])
+		}
+	}
+	for _, tr := range instr.Times {
+		for i := range e.Fields {
+			if e.Fields[i].Name != tr.Field {
+				continue
+			}
+			ts, err := time.Parse(tr.Layout, e.Fields[i].Value)
+			if err != nil {
+				return fmt.Errorf("parsers: normalize time field %q: %w", tr.Field, err)
+			}
+			e.Fields[i].Value = ts.UTC().Format(mxml.TimeLayout)
+			e.Fields[i].Hint = "time"
+		}
+	}
+	for k, v := range instr.Const {
+		e.Add(k, v)
+	}
+	return nil
+}
+
+// compile caches compiled patterns; declarations reuse a small set of
+// regexes across millions of lines.
+func compile(pattern string) (*regexp.Regexp, error) {
+	if re, ok := reCache[pattern]; ok {
+		return re, nil
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("parsers: compile %q: %w", pattern, err)
+	}
+	if len(reCache) < 256 {
+		reCache[pattern] = re
+	}
+	return re, nil
+}
+
+// reCache is populated lazily; parsing is single-goroutine by design (the
+// transformer processes files sequentially for deterministic output).
+var reCache = make(map[string]*regexp.Regexp)
+
+// groupsToEntry appends every named group of a match to the entry.
+func groupsToEntry(e *mxml.Entry, re *regexp.Regexp, m []string) {
+	for i, name := range re.SubexpNames() {
+		if i == 0 || name == "" {
+			continue
+		}
+		e.Add(name, m[i])
+	}
+}

@@ -1,0 +1,88 @@
+package parsers
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/mxml"
+)
+
+// pidstatParser handles per-process CPU reports: a sysstat banner (the
+// date), periodically repeated column headers, and one row per process per
+// sample. Like the legacy SAR format, the date and the row clock must be
+// stitched together, so it is a customized parser.
+type pidstatParser struct{}
+
+var _ Parser = pidstatParser{}
+
+func (pidstatParser) Name() string { return "pidstat" }
+
+func (pidstatParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
+	sc := newScanner(in)
+	var date time.Time
+	haveDate := false
+	sawHeader := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == "":
+			continue
+		case strings.HasPrefix(line, "Linux "):
+			d, err := sarBannerDate(line)
+			if err != nil {
+				return fmt.Errorf("parsers: pidstat line %d: %w", lineNo, err)
+			}
+			date = d
+			haveDate = true
+		case strings.Contains(line, "%usr"):
+			sawHeader = true
+		default:
+			if !haveDate || !sawHeader {
+				return fmt.Errorf("parsers: pidstat line %d: data before banner/header", lineNo)
+			}
+			e, err := pidstatRow(trimmed, date)
+			if err != nil {
+				return fmt.Errorf("parsers: pidstat line %d: %w", lineNo, err)
+			}
+			if err := applyCommon(&e, instr); err != nil {
+				return fmt.Errorf("parsers: pidstat line %d: %w", lineNo, err)
+			}
+			if err := emit(e); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("parsers: scan: %w", err)
+	}
+	return nil
+}
+
+// pidstatRow parses "HH:MM:SS.mmm uid pid %usr %system %guest %cpu core cmd".
+func pidstatRow(line string, date time.Time) (mxml.Entry, error) {
+	var e mxml.Entry
+	fields := strings.Fields(line)
+	if len(fields) != 9 {
+		return e, fmt.Errorf("row has %d fields, want 9: %q", len(fields), line)
+	}
+	clock, err := time.Parse("15:04:05.000", fields[0])
+	if err != nil {
+		return e, fmt.Errorf("row timestamp %q: %w", fields[0], err)
+	}
+	ts := time.Date(date.Year(), date.Month(), date.Day(),
+		clock.Hour(), clock.Minute(), clock.Second(), clock.Nanosecond(), time.UTC)
+	e.AddTyped("ts", ts.Format(mxml.TimeLayout), "time")
+	e.Add("uid", fields[1])
+	e.Add("pid", fields[2])
+	e.Add("usr", fields[3])
+	e.Add("system", fields[4])
+	e.Add("cpu", fields[6])
+	e.Add("core", fields[7])
+	e.Add("command", fields[8])
+	return e, nil
+}

@@ -1,0 +1,113 @@
+package parsers
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/mxml"
+)
+
+// sarParser is the customized legacy SAR text parser. The paper built a
+// custom parser for SAR because the two generic instruction styles were
+// insufficient — and the reason is visible in the format: the date lives
+// only in the banner line, the column set lives in periodically repeated
+// header rows, and data rows carry just a time-of-day. This parser stitches
+// the three together.
+type sarParser struct{}
+
+var _ Parser = sarParser{}
+
+func (sarParser) Name() string { return "sar" }
+
+func (sarParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
+	sc := newScanner(in)
+	var date time.Time
+	haveDate := false
+	var cols []string // column names from the last header row, sans ts/CPU
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == "":
+			continue
+		case strings.HasPrefix(line, "Linux "):
+			d, err := sarBannerDate(line)
+			if err != nil {
+				return fmt.Errorf("parsers: sar line %d: %w", lineNo, err)
+			}
+			date = d
+			haveDate = true
+		case strings.Contains(line, "%user"):
+			cols = sarHeaderColumns(line)
+		default:
+			if !haveDate {
+				return fmt.Errorf("parsers: sar line %d: data before banner", lineNo)
+			}
+			if cols == nil {
+				return fmt.Errorf("parsers: sar line %d: data before column header", lineNo)
+			}
+			e, err := sarDataRow(line, date, cols)
+			if err != nil {
+				return fmt.Errorf("parsers: sar line %d: %w", lineNo, err)
+			}
+			if err := applyCommon(&e, instr); err != nil {
+				return fmt.Errorf("parsers: sar line %d: %w", lineNo, err)
+			}
+			if err := emit(e); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("parsers: scan: %w", err)
+	}
+	return nil
+}
+
+// sarBannerDate extracts the date from "Linux ... (host) \tMM/DD/YYYY \t...".
+func sarBannerDate(line string) (time.Time, error) {
+	for _, tok := range strings.Fields(line) {
+		if t, err := time.Parse("01/02/2006", tok); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("no date in banner %q", line)
+}
+
+// sarHeaderColumns maps "%user"-style column names to field names,
+// skipping the leading timestamp and CPU columns.
+func sarHeaderColumns(line string) []string {
+	fields := strings.Fields(line)
+	var cols []string
+	for _, f := range fields {
+		if strings.HasPrefix(f, "%") {
+			cols = append(cols, strings.TrimPrefix(f, "%"))
+		}
+	}
+	return cols
+}
+
+// sarDataRow parses "HH:MM:SS.mmm  all  v1 v2 ..." against the column set.
+func sarDataRow(line string, date time.Time, cols []string) (mxml.Entry, error) {
+	var e mxml.Entry
+	fields := strings.Fields(line)
+	if len(fields) != len(cols)+2 {
+		return e, fmt.Errorf("row has %d fields, want %d: %q", len(fields), len(cols)+2, line)
+	}
+	clock, err := time.Parse("15:04:05.000", fields[0])
+	if err != nil {
+		return e, fmt.Errorf("row timestamp %q: %w", fields[0], err)
+	}
+	ts := time.Date(date.Year(), date.Month(), date.Day(),
+		clock.Hour(), clock.Minute(), clock.Second(), clock.Nanosecond(), time.UTC)
+	e.AddTyped("ts", ts.Format(mxml.TimeLayout), "time")
+	e.Add("cpu", fields[1])
+	for i, c := range cols {
+		e.Add(c, fields[i+2])
+	}
+	return e, nil
+}

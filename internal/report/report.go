@@ -1,0 +1,194 @@
+// Package report renders experiment figures as text: an ASCII chart for
+// shape inspection plus a data table, one per paper figure. The benchmark
+// harness and CLI print these so each run regenerates the evaluation
+// artifacts without any plotting dependencies.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"github.com/gt-elba/milliscope/internal/mscopedb"
+)
+
+// Series is one named line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is one renderable paper figure.
+type Figure struct {
+	ID     string // e.g. "fig2"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Notes carry summary statistics (peak factors, correlations, ...).
+	Notes []string
+}
+
+// FromDBSeries converts a warehouse series to a figure series with X in
+// seconds relative to baseUS and Y scaled by yScale.
+func FromDBSeries(name string, s *mscopedb.Series, baseUS int64, yScale float64) Series {
+	out := Series{Name: name}
+	for i := range s.StartMicros {
+		out.X = append(out.X, float64(s.StartMicros[i]-baseUS)/1e6)
+		out.Y = append(out.Y, s.Values[i]*yScale)
+	}
+	return out
+}
+
+// seriesSymbols marks each series on the chart canvas.
+const seriesSymbols = "*o+x#@%&"
+
+// Render draws the figure as an ASCII chart followed by its notes.
+func (f *Figure) Render(w io.Writer, width, height int) error {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := 0.0, math.Inf(-1)
+	points := 0
+	for _, s := range f.Series {
+		for i := range s.X {
+			points++
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymax = math.Max(ymax, s.Y[i])
+			ymin = math.Min(ymin, s.Y[i])
+		}
+	}
+	if points == 0 {
+		if _, err := fmt.Fprintln(w, " (no data)"); err != nil {
+			return err
+		}
+		return f.renderNotes(w)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+	canvas := make([][]byte, height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		sym := seriesSymbols[si%len(seriesSymbols)]
+		for i := range s.X {
+			cx := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			cy := int((s.Y[i] - ymin) / (ymax - ymin) * float64(height-1))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				canvas[row][cx] = sym
+			}
+		}
+	}
+	for i, row := range canvas {
+		yVal := ymax - (ymax-ymin)*float64(i)/float64(height-1)
+		if _, err := fmt.Fprintf(w, "%12.2f |%s|\n", yVal, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%12s +%s+\n", "", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%12s  %-*.2f%*.2f\n", f.XLabel, width/2, xmin, width-width/2, xmax); err != nil {
+		return err
+	}
+	var legend []string
+	for si, s := range f.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", seriesSymbols[si%len(seriesSymbols)], s.Name))
+	}
+	if _, err := fmt.Fprintf(w, " y: %s   legend: %s\n", f.YLabel, strings.Join(legend, "  ")); err != nil {
+		return err
+	}
+	return f.renderNotes(w)
+}
+
+func (f *Figure) renderNotes(w io.Writer) error {
+	for _, n := range f.Notes {
+		if _, err := fmt.Fprintf(w, " note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderTable prints the figure's data as aligned columns, sampling down
+// to at most maxRows rows per series.
+func (f *Figure) RenderTable(w io.Writer, maxRows int) error {
+	if maxRows <= 0 {
+		maxRows = 20
+	}
+	if _, err := fmt.Fprintf(w, "-- %s data --\n", f.ID); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		if _, err := fmt.Fprintf(w, "%s (%d points):\n", s.Name, len(s.X)); err != nil {
+			return err
+		}
+		step := 1
+		if len(s.X) > maxRows {
+			step = len(s.X) / maxRows
+		}
+		for i := 0; i < len(s.X); i += step {
+			if _, err := fmt.Fprintf(w, "  %-12.4f %g\n", s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the figure's data in long format (series,x,y) for
+// external plotting tools.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\nseries,%s,%s\n",
+		f.ID, f.Title, csvLabel(f.XLabel, "x"), csvLabel(f.YLabel, "y")); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", csvEscape(s.Name), s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func csvLabel(label, fallback string) string {
+	if label == "" {
+		return fallback
+	}
+	return csvEscape(label)
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Summary returns a one-line description for benchmark output.
+func (f *Figure) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s", f.ID, f.Title)
+	if len(f.Notes) > 0 {
+		fmt.Fprintf(&b, " [%s]", strings.Join(f.Notes, "; "))
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/gt-elba/milliscope/internal/mscopedb"
+)
+
+func sampleFigure() *Figure {
+	return &Figure{
+		ID: "figX", Title: "Sample", XLabel: "time (s)", YLabel: "value",
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1, 2, 3}, Y: []float64{1, 5, 2, 8}},
+			{Name: "b", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 1, 2}},
+		},
+		Notes: []string{"peak 8"},
+	}
+}
+
+func TestRenderChart(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleFigure().Render(&buf, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"figX", "Sample", "a", "b", "note: peak 8", "time (s)", "value", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 10 {
+		t.Fatalf("render too short: %d lines", len(lines))
+	}
+}
+
+func TestRenderEmptyFigure(t *testing.T) {
+	var buf bytes.Buffer
+	f := &Figure{ID: "e", Title: "Empty", Notes: []string{"n"}}
+	if err := f.Render(&buf, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(no data)") {
+		t.Fatalf("empty figure output: %s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "note: n") {
+		t.Fatal("notes dropped for empty figure")
+	}
+}
+
+func TestRenderClampsTinyDimensions(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleFigure().Render(&buf, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output with clamped dimensions")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	var buf bytes.Buffer
+	f := &Figure{ID: "c", Title: "Const",
+		Series: []Series{{Name: "x", X: []float64{1, 1}, Y: []float64{5, 5}}}}
+	if err := f.Render(&buf, 30, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleFigure().RenderTable(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "figX data") || !strings.Contains(out, "a (4 points)") {
+		t.Fatalf("table output:\n%s", out)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := sampleFigure().Summary()
+	if !strings.Contains(s, "figX") || !strings.Contains(s, "peak 8") {
+		t.Fatalf("summary %q", s)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	f := sampleFigure()
+	f.YLabel = `value, "quoted"`
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// comment + header + 8 data rows.
+	if len(lines) != 10 {
+		t.Fatalf("%d csv lines:\n%s", len(lines), out)
+	}
+	if lines[2] != "a,0,1" {
+		t.Fatalf("first data row %q", lines[2])
+	}
+	if !strings.Contains(lines[1], `"value, ""quoted"""`) {
+		t.Fatalf("label not escaped: %q", lines[1])
+	}
+}
+
+func TestFromDBSeries(t *testing.T) {
+	src := &mscopedb.Series{
+		StartMicros: []int64{1_000_000, 2_000_000},
+		Values:      []float64{3000, 6000},
+	}
+	s := FromDBSeries("rt", src, 1_000_000, 1e-3)
+	if s.Name != "rt" || len(s.X) != 2 {
+		t.Fatalf("series %+v", s)
+	}
+	if s.X[0] != 0 || s.X[1] != 1 {
+		t.Fatalf("x values %v", s.X)
+	}
+	if s.Y[0] != 3 || s.Y[1] != 6 {
+		t.Fatalf("y values %v", s.Y)
+	}
+}

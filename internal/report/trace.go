@@ -1,0 +1,76 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/tracegraph"
+)
+
+// RenderTrace draws one request's causal path (the paper's Figure 5) as a
+// swimlane: one row per tier visit, '=' where the tier works locally, '.'
+// where it waits on its downstream, aligned on a shared time axis.
+func RenderTrace(w io.Writer, tr *tracegraph.Trace, width int) error {
+	if width < 40 {
+		width = 40
+	}
+	if len(tr.Spans) == 0 {
+		_, err := fmt.Fprintf(w, "trace %s: no spans\n", tr.ReqID)
+		return err
+	}
+	lo, hi := tr.Spans[0].UA, tr.Spans[0].UD
+	for _, sp := range tr.Spans {
+		if sp.UA < lo {
+			lo = sp.UA
+		}
+		if sp.UD > hi {
+			hi = sp.UD
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	scale := func(us int64) int {
+		p := int(float64(us-lo) / float64(hi-lo) * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p > width-1 {
+			p = width - 1
+		}
+		return p
+	}
+	if _, err := fmt.Fprintf(w, "trace %s  (total %v)\n", tr.ReqID,
+		(time.Duration(hi-lo) * time.Microsecond).Round(time.Microsecond)); err != nil {
+		return err
+	}
+	for _, sp := range tr.Spans {
+		row := []byte(strings.Repeat(" ", width))
+		a, d := scale(sp.UA), scale(sp.UD)
+		for i := a; i <= d; i++ {
+			row[i] = '='
+		}
+		if sp.DS != 0 && sp.DR >= sp.DS {
+			s, r := scale(sp.DS), scale(sp.DR)
+			for i := s; i <= r && i <= d; i++ {
+				row[i] = '.'
+			}
+		}
+		label := sp.Tier
+		if sp.Seq > 0 {
+			label = fmt.Sprintf("%s#%d", sp.Tier, sp.Seq)
+		}
+		if _, err := fmt.Fprintf(w, "%-10s |%s| res=%-10v local=%v\n",
+			label, string(row),
+			sp.Residence().Round(time.Microsecond),
+			sp.Local().Round(time.Microsecond)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-10s  %-*s%s\n", "", width/2,
+		fmt.Sprintf("0"), fmt.Sprintf("%*v", width/2,
+			time.Duration(hi-lo)*time.Microsecond))
+	return err
+}

@@ -1,0 +1,58 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/gt-elba/milliscope/internal/tracegraph"
+)
+
+func TestRenderTraceSwimlane(t *testing.T) {
+	tr := &tracegraph.Trace{
+		ReqID: "req-0000000042",
+		Spans: []tracegraph.Span{
+			{Tier: "apache", UA: 0, UD: 10_000, DS: 1_000, DR: 9_000},
+			{Tier: "tomcat", UA: 1_200, UD: 8_800, DS: 2_000, DR: 8_000},
+			{Tier: "mysql", Seq: 1, UA: 2_200, UD: 7_800},
+		},
+	}
+	var buf bytes.Buffer
+	if err := RenderTrace(&buf, tr, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"req-0000000042", "apache", "tomcat", "mysql#1", "=", "."} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("swimlane missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + 3 spans + axis
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	// The waiting portion of the apache row must be dots, the local edges '='.
+	apacheRow := lines[1]
+	if !strings.Contains(apacheRow, "=.") && !strings.Contains(apacheRow, ".=") {
+		t.Fatalf("apache row lacks local/wait structure: %q", apacheRow)
+	}
+}
+
+func TestRenderTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderTrace(&buf, &tracegraph.Trace{ReqID: "x"}, 60); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no spans") {
+		t.Fatalf("empty trace output: %q", buf.String())
+	}
+}
+
+func TestRenderTraceZeroDuration(t *testing.T) {
+	tr := &tracegraph.Trace{ReqID: "x",
+		Spans: []tracegraph.Span{{Tier: "apache", UA: 5, UD: 5}}}
+	var buf bytes.Buffer
+	if err := RenderTrace(&buf, tr, 60); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package resmon
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPidstatOutputShape(t *testing.T) {
+	cfg := Config{Interval: 100 * time.Millisecond, Kinds: []Kind{Pidstat}}
+	_, set := runMonitored(t, cfg)
+	data, err := os.ReadFile(set.Paths["tomcat/pidstat"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := string(data)
+	if !strings.HasPrefix(content, "Linux ") {
+		t.Fatal("pidstat missing sysstat banner")
+	}
+	if !strings.Contains(content, "%usr") {
+		t.Fatal("pidstat missing column header")
+	}
+	javaRows := strings.Count(content, "  java")
+	flushRows := strings.Count(content, "kworker/u16:flush")
+	if javaRows == 0 || flushRows == 0 {
+		t.Fatalf("pidstat rows: java=%d flusher=%d", javaRows, flushRows)
+	}
+	if javaRows != flushRows {
+		t.Fatalf("unpaired process rows: java=%d flusher=%d", javaRows, flushRows)
+	}
+	// ~10 samples over 1s at 100ms.
+	if javaRows < 8 || javaRows > 12 {
+		t.Fatalf("%d samples, want ~10", javaRows)
+	}
+}
+
+func TestPidstatProcessNames(t *testing.T) {
+	cases := map[string]string{
+		"apache": "httpd", "tomcat": "java", "cjdbc": "java",
+		"mysql": "mysqld", "other": "otherd",
+	}
+	for node, want := range cases {
+		if got := processOf(node); got != want {
+			t.Fatalf("processOf(%s) = %q, want %q", node, got, want)
+		}
+	}
+}

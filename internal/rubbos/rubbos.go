@@ -1,0 +1,424 @@
+// Package rubbos models the RUBBoS bulletin-board benchmark the paper uses
+// to drive its n-tier testbed: the 24 interaction types (Slashdot-style
+// pages), a Markov session model with browse-only and read/write mixes, and
+// per-tier service-demand profiles for each interaction.
+//
+// The workload parameter in the paper ("workload 8000") is the number of
+// concurrent emulated users; each user loops think-time → interaction →
+// think-time against the front tier.
+package rubbos
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/dist"
+)
+
+// Mix selects the RUBBoS workload mix.
+type Mix int
+
+// The two standard RUBBoS mixes.
+const (
+	// BrowseOnly issues no writes.
+	BrowseOnly Mix = iota + 1
+	// ReadWrite includes comment/story submission and moderation (~10%
+	// writes), the mix the paper's scenarios run.
+	ReadWrite
+)
+
+func (m Mix) String() string {
+	switch m {
+	case BrowseOnly:
+		return "browse-only"
+	case ReadWrite:
+		return "read-write"
+	default:
+		return fmt.Sprintf("Mix(%d)", int(m))
+	}
+}
+
+// Interaction describes one of the 24 RUBBoS page types and its resource
+// demands across the four tiers. Demands are medians of a lognormal.
+type Interaction struct {
+	// Name is the RUBBoS servlet name, e.g. "ViewStory".
+	Name string
+	// URI is the request path Apache sees.
+	URI string
+	// Write indicates a state-mutating interaction (MySQL commits).
+	Write bool
+
+	// ApacheCPU is the front-tier demand (parse + proxy).
+	ApacheCPU time.Duration
+	// TomcatCPU is the servlet execution demand, excluding DB waits.
+	TomcatCPU time.Duration
+	// CJDBCCPU is the middleware routing demand per query.
+	CJDBCCPU time.Duration
+	// QueryCPU is the MySQL execution demand per query.
+	QueryCPU time.Duration
+	// Queries is how many SQL statements the servlet issues sequentially.
+	Queries int
+	// CommitKB is the synchronous redo-log write at MySQL for writes.
+	CommitKB int
+	// RespKB is the response body size returned to the client.
+	RespKB int
+	// SQL is a representative statement template recorded in the MySQL log.
+	SQL string
+}
+
+// interaction indices; the slice in Standard() is ordered to match.
+const (
+	ixHome = iota
+	ixRegister
+	ixRegisterUser
+	ixBrowse
+	ixBrowseCategories
+	ixBrowseStoriesByCategory
+	ixOlderStories
+	ixViewStory
+	ixViewComment
+	ixPostComment
+	ixStoreComment
+	ixModerateComment
+	ixStoreModeratedComment
+	ixSubmitStory
+	ixStoreStory
+	ixSearch
+	ixSearchInStories
+	ixSearchInComments
+	ixSearchInUsers
+	ixAuthorLogin
+	ixAuthorTasks
+	ixReviewStories
+	ixAcceptStory
+	ixRejectStory
+	numInteractions
+)
+
+type edge struct {
+	to     int
+	weight float64
+}
+
+// Workload is the RUBBoS interaction set plus the session Markov chain.
+type Workload struct {
+	mix          Mix
+	interactions []Interaction
+	// trans[i] lists the successor edges of interaction i after mix
+	// filtering and renormalization.
+	trans [][]edge
+	// start is the entry distribution (all sessions begin at Home).
+	start int
+}
+
+// Standard returns the standard RUBBoS workload for the given mix.
+func Standard(mix Mix) *Workload {
+	if mix != BrowseOnly && mix != ReadWrite {
+		panic(fmt.Sprintf("rubbos: unknown mix %d", int(mix)))
+	}
+	w := &Workload{mix: mix, interactions: buildInteractions(), start: ixHome}
+	w.trans = buildTransitions(mix)
+	return w
+}
+
+// Mix returns the workload mix.
+func (w *Workload) Mix() Mix { return w.mix }
+
+// Interactions returns the 24 interaction definitions. The returned slice
+// is a copy; callers may not mutate workload state.
+func (w *Workload) Interactions() []Interaction {
+	out := make([]Interaction, len(w.interactions))
+	copy(out, w.interactions)
+	return out
+}
+
+// Interaction returns the definition at the given index.
+func (w *Workload) Interaction(i int) Interaction {
+	if i < 0 || i >= len(w.interactions) {
+		panic(fmt.Sprintf("rubbos: interaction index %d out of range", i))
+	}
+	return w.interactions[i]
+}
+
+// ByName returns the index of the named interaction, or -1.
+func (w *Workload) ByName(name string) int {
+	for i := range w.interactions {
+		if w.interactions[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Len returns the number of interaction types (24).
+func (w *Workload) Len() int { return len(w.interactions) }
+
+// Start returns the session entry interaction (Home).
+func (w *Workload) Start() int { return w.start }
+
+// Next advances the session Markov chain from interaction prev.
+func (w *Workload) Next(src *dist.Source, prev int) int {
+	if prev < 0 || prev >= len(w.trans) {
+		panic(fmt.Sprintf("rubbos: transition from invalid state %d", prev))
+	}
+	edges := w.trans[prev]
+	weights := make([]float64, len(edges))
+	for i, e := range edges {
+		weights[i] = e.weight
+	}
+	return edges[src.Choice(weights)].to
+}
+
+// SampleDemand draws a lognormal service demand around the given median.
+const demandSigma = 0.3
+
+// SampleDemand perturbs a median demand with the workload's lognormal shape.
+func SampleDemand(src *dist.Source, median time.Duration) time.Duration {
+	return src.Lognormal(median, demandSigma)
+}
+
+func ms(f float64) time.Duration { return time.Duration(f * float64(time.Millisecond)) }
+
+func buildInteractions() []Interaction {
+	ix := make([]Interaction, numInteractions)
+	set := func(i int, it Interaction) { ix[i] = it }
+
+	set(ixHome, Interaction{
+		Name: "StoriesOfTheDay", URI: "/rubbos/StoriesOfTheDay",
+		ApacheCPU: ms(0.30), TomcatCPU: ms(3.0), CJDBCCPU: ms(0.20),
+		QueryCPU: ms(2.0), Queries: 3, RespKB: 24,
+		SQL: "SELECT id,title,date FROM stories WHERE date>=? ORDER BY date DESC LIMIT 10",
+	})
+	set(ixRegister, Interaction{
+		Name: "Register", URI: "/rubbos/Register",
+		ApacheCPU: ms(0.20), TomcatCPU: ms(0.8), CJDBCCPU: ms(0.15),
+		QueryCPU: ms(0), Queries: 0, RespKB: 4,
+		SQL: "",
+	})
+	set(ixRegisterUser, Interaction{
+		Name: "RegisterUser", URI: "/rubbos/RegisterUser", Write: true,
+		ApacheCPU: ms(0.25), TomcatCPU: ms(1.5), CJDBCCPU: ms(0.20),
+		QueryCPU: ms(1.2), Queries: 2, CommitKB: 8, RespKB: 3,
+		SQL: "INSERT INTO users (firstname,lastname,nickname,password,email) VALUES (?,?,?,?,?)",
+	})
+	set(ixBrowse, Interaction{
+		Name: "Browse", URI: "/rubbos/Browse",
+		ApacheCPU: ms(0.20), TomcatCPU: ms(0.7), CJDBCCPU: ms(0.15),
+		QueryCPU: ms(0), Queries: 0, RespKB: 3,
+		SQL: "",
+	})
+	set(ixBrowseCategories, Interaction{
+		Name: "BrowseCategories", URI: "/rubbos/BrowseCategories",
+		ApacheCPU: ms(0.25), TomcatCPU: ms(1.2), CJDBCCPU: ms(0.18),
+		QueryCPU: ms(0.9), Queries: 1, RespKB: 6,
+		SQL: "SELECT id,name FROM categories",
+	})
+	set(ixBrowseStoriesByCategory, Interaction{
+		Name: "BrowseStoriesByCategory", URI: "/rubbos/BrowseStoriesByCategory",
+		ApacheCPU: ms(0.28), TomcatCPU: ms(2.2), CJDBCCPU: ms(0.20),
+		QueryCPU: ms(1.8), Queries: 2, RespKB: 14,
+		SQL: "SELECT id,title,date,nb_of_comments FROM stories WHERE category=? ORDER BY date DESC LIMIT 25",
+	})
+	set(ixOlderStories, Interaction{
+		Name: "OlderStories", URI: "/rubbos/OlderStories",
+		ApacheCPU: ms(0.28), TomcatCPU: ms(2.0), CJDBCCPU: ms(0.20),
+		QueryCPU: ms(2.2), Queries: 2, RespKB: 16,
+		SQL: "SELECT id,title,date FROM old_stories WHERE date<? ORDER BY date DESC LIMIT 25",
+	})
+	set(ixViewStory, Interaction{
+		Name: "ViewStory", URI: "/rubbos/ViewStory",
+		ApacheCPU: ms(0.30), TomcatCPU: ms(2.5), CJDBCCPU: ms(0.20),
+		QueryCPU: ms(1.8), Queries: 2, RespKB: 18,
+		SQL: "SELECT id,title,body,date,writer FROM stories WHERE id=?",
+	})
+	set(ixViewComment, Interaction{
+		Name: "ViewComment", URI: "/rubbos/ViewComment",
+		ApacheCPU: ms(0.28), TomcatCPU: ms(2.0), CJDBCCPU: ms(0.20),
+		QueryCPU: ms(1.5), Queries: 2, RespKB: 12,
+		SQL: "SELECT id,subject,comment,date FROM comments WHERE story_id=? AND id=?",
+	})
+	set(ixPostComment, Interaction{
+		Name: "PostComment", URI: "/rubbos/PostComment",
+		ApacheCPU: ms(0.22), TomcatCPU: ms(1.0), CJDBCCPU: ms(0.18),
+		QueryCPU: ms(0.8), Queries: 1, RespKB: 5,
+		SQL: "SELECT id,title FROM stories WHERE id=?",
+	})
+	set(ixStoreComment, Interaction{
+		Name: "StoreComment", URI: "/rubbos/StoreComment", Write: true,
+		ApacheCPU: ms(0.25), TomcatCPU: ms(1.8), CJDBCCPU: ms(0.22),
+		QueryCPU: ms(1.6), Queries: 3, CommitKB: 12, RespKB: 4,
+		SQL: "INSERT INTO comments (writer,story_id,parent,subject,comment,date) VALUES (?,?,?,?,?,NOW())",
+	})
+	set(ixModerateComment, Interaction{
+		Name: "ModerateComment", URI: "/rubbos/ModerateComment",
+		ApacheCPU: ms(0.22), TomcatCPU: ms(1.2), CJDBCCPU: ms(0.18),
+		QueryCPU: ms(1.0), Queries: 1, RespKB: 6,
+		SQL: "SELECT id,subject,comment FROM comments WHERE id=?",
+	})
+	set(ixStoreModeratedComment, Interaction{
+		Name: "StoreModeratedComment", URI: "/rubbos/StoreModeratedComment", Write: true,
+		ApacheCPU: ms(0.24), TomcatCPU: ms(1.6), CJDBCCPU: ms(0.20),
+		QueryCPU: ms(1.4), Queries: 2, CommitKB: 8, RespKB: 3,
+		SQL: "UPDATE comments SET rating=rating+? WHERE id=?",
+	})
+	set(ixSubmitStory, Interaction{
+		Name: "SubmitStory", URI: "/rubbos/SubmitStory",
+		ApacheCPU: ms(0.20), TomcatCPU: ms(0.9), CJDBCCPU: ms(0.15),
+		QueryCPU: ms(0.7), Queries: 1, RespKB: 4,
+		SQL: "SELECT id,name FROM categories",
+	})
+	set(ixStoreStory, Interaction{
+		Name: "StoreStory", URI: "/rubbos/StoreStory", Write: true,
+		ApacheCPU: ms(0.26), TomcatCPU: ms(2.4), CJDBCCPU: ms(0.24),
+		QueryCPU: ms(2.0), Queries: 3, CommitKB: 32, RespKB: 4,
+		SQL: "INSERT INTO submissions (writer,category,title,body,date) VALUES (?,?,?,?,NOW())",
+	})
+	set(ixSearch, Interaction{
+		Name: "Search", URI: "/rubbos/Search",
+		ApacheCPU: ms(0.18), TomcatCPU: ms(0.6), CJDBCCPU: ms(0.12),
+		QueryCPU: ms(0), Queries: 0, RespKB: 3,
+		SQL: "",
+	})
+	set(ixSearchInStories, Interaction{
+		Name: "SearchInStories", URI: "/rubbos/SearchInStories",
+		ApacheCPU: ms(0.30), TomcatCPU: ms(3.5), CJDBCCPU: ms(0.22),
+		QueryCPU: ms(7.5), Queries: 1, RespKB: 20,
+		SQL: "SELECT id,title,date FROM stories WHERE title LIKE ? ORDER BY date DESC LIMIT 25",
+	})
+	set(ixSearchInComments, Interaction{
+		Name: "SearchInComments", URI: "/rubbos/SearchInComments",
+		ApacheCPU: ms(0.30), TomcatCPU: ms(3.2), CJDBCCPU: ms(0.22),
+		QueryCPU: ms(8.5), Queries: 1, RespKB: 18,
+		SQL: "SELECT id,subject,date FROM comments WHERE subject LIKE ? ORDER BY date DESC LIMIT 25",
+	})
+	set(ixSearchInUsers, Interaction{
+		Name: "SearchInUsers", URI: "/rubbos/SearchInUsers",
+		ApacheCPU: ms(0.26), TomcatCPU: ms(2.4), CJDBCCPU: ms(0.20),
+		QueryCPU: ms(4.0), Queries: 1, RespKB: 8,
+		SQL: "SELECT id,nickname FROM users WHERE nickname LIKE ? LIMIT 25",
+	})
+	set(ixAuthorLogin, Interaction{
+		Name: "AuthorLogin", URI: "/rubbos/AuthorLogin",
+		ApacheCPU: ms(0.20), TomcatCPU: ms(0.8), CJDBCCPU: ms(0.15),
+		QueryCPU: ms(0), Queries: 0, RespKB: 3,
+		SQL: "",
+	})
+	set(ixAuthorTasks, Interaction{
+		Name: "AuthorTasks", URI: "/rubbos/AuthorTasks",
+		ApacheCPU: ms(0.24), TomcatCPU: ms(1.4), CJDBCCPU: ms(0.18),
+		QueryCPU: ms(1.2), Queries: 1, RespKB: 7,
+		SQL: "SELECT id,nickname,password FROM users WHERE nickname=? AND access>0",
+	})
+	set(ixReviewStories, Interaction{
+		Name: "ReviewStories", URI: "/rubbos/ReviewStories",
+		ApacheCPU: ms(0.28), TomcatCPU: ms(2.2), CJDBCCPU: ms(0.20),
+		QueryCPU: ms(2.4), Queries: 2, RespKB: 15,
+		SQL: "SELECT id,title,date,writer FROM submissions ORDER BY date LIMIT 25",
+	})
+	set(ixAcceptStory, Interaction{
+		Name: "AcceptStory", URI: "/rubbos/AcceptStory", Write: true,
+		ApacheCPU: ms(0.26), TomcatCPU: ms(2.0), CJDBCCPU: ms(0.22),
+		QueryCPU: ms(1.8), Queries: 3, CommitKB: 24, RespKB: 4,
+		SQL: "INSERT INTO stories SELECT * FROM submissions WHERE id=?",
+	})
+	set(ixRejectStory, Interaction{
+		Name: "RejectStory", URI: "/rubbos/RejectStory", Write: true,
+		ApacheCPU: ms(0.24), TomcatCPU: ms(1.4), CJDBCCPU: ms(0.20),
+		QueryCPU: ms(1.2), Queries: 2, CommitKB: 8, RespKB: 3,
+		SQL: "DELETE FROM submissions WHERE id=?",
+	})
+	for i := range ix {
+		if ix[i].Name == "" {
+			panic(fmt.Sprintf("rubbos: interaction %d not defined", i))
+		}
+	}
+	return ix
+}
+
+// writeChain lists interactions excluded (as transition targets) from the
+// browse-only mix; their probability mass is redirected to Home.
+var writeChain = map[int]bool{
+	ixRegister: true, ixRegisterUser: true,
+	ixPostComment: true, ixStoreComment: true,
+	ixModerateComment: true, ixStoreModeratedComment: true,
+	ixSubmitStory: true, ixStoreStory: true,
+	ixAuthorLogin: true, ixAuthorTasks: true,
+	ixReviewStories: true, ixAcceptStory: true, ixRejectStory: true,
+}
+
+func buildTransitions(mix Mix) [][]edge {
+	raw := make([][]edge, numInteractions)
+	add := func(from int, pairs ...edge) { raw[from] = pairs }
+
+	add(ixHome,
+		edge{ixBrowseCategories, 0.26}, edge{ixViewStory, 0.34},
+		edge{ixOlderStories, 0.12}, edge{ixSearch, 0.10},
+		edge{ixRegister, 0.04}, edge{ixSubmitStory, 0.05},
+		edge{ixAuthorLogin, 0.03}, edge{ixBrowse, 0.06})
+	add(ixRegister, edge{ixRegisterUser, 0.85}, edge{ixHome, 0.15})
+	add(ixRegisterUser, edge{ixHome, 1})
+	add(ixBrowse, edge{ixBrowseCategories, 0.9}, edge{ixHome, 0.1})
+	add(ixBrowseCategories, edge{ixBrowseStoriesByCategory, 0.85}, edge{ixHome, 0.15})
+	add(ixBrowseStoriesByCategory,
+		edge{ixViewStory, 0.65}, edge{ixOlderStories, 0.2}, edge{ixHome, 0.15})
+	add(ixOlderStories, edge{ixViewStory, 0.7}, edge{ixHome, 0.3})
+	add(ixViewStory,
+		edge{ixViewComment, 0.45}, edge{ixPostComment, 0.10},
+		edge{ixHome, 0.30}, edge{ixBrowseStoriesByCategory, 0.15})
+	add(ixViewComment,
+		edge{ixViewStory, 0.35}, edge{ixPostComment, 0.12},
+		edge{ixModerateComment, 0.05}, edge{ixHome, 0.48})
+	add(ixPostComment, edge{ixStoreComment, 0.9}, edge{ixViewStory, 0.1})
+	add(ixStoreComment, edge{ixViewStory, 0.7}, edge{ixHome, 0.3})
+	add(ixModerateComment, edge{ixStoreModeratedComment, 0.8}, edge{ixHome, 0.2})
+	add(ixStoreModeratedComment, edge{ixHome, 1})
+	add(ixSubmitStory, edge{ixStoreStory, 0.85}, edge{ixHome, 0.15})
+	add(ixStoreStory, edge{ixHome, 1})
+	add(ixSearch,
+		edge{ixSearchInStories, 0.60}, edge{ixSearchInComments, 0.25},
+		edge{ixSearchInUsers, 0.15})
+	add(ixSearchInStories, edge{ixViewStory, 0.55}, edge{ixSearch, 0.2}, edge{ixHome, 0.25})
+	add(ixSearchInComments, edge{ixViewComment, 0.5}, edge{ixHome, 0.5})
+	add(ixSearchInUsers, edge{ixHome, 1})
+	add(ixAuthorLogin, edge{ixAuthorTasks, 0.9}, edge{ixHome, 0.1})
+	add(ixAuthorTasks, edge{ixReviewStories, 0.8}, edge{ixHome, 0.2})
+	add(ixReviewStories,
+		edge{ixAcceptStory, 0.5}, edge{ixRejectStory, 0.3}, edge{ixHome, 0.2})
+	add(ixAcceptStory, edge{ixReviewStories, 0.55}, edge{ixHome, 0.45})
+	add(ixRejectStory, edge{ixReviewStories, 0.55}, edge{ixHome, 0.45})
+
+	if mix == ReadWrite {
+		return raw
+	}
+	// Browse-only: redirect write-chain targets to Home.
+	out := make([][]edge, numInteractions)
+	for from, edges := range raw {
+		var kept []edge
+		home := 0.0
+		for _, e := range edges {
+			if writeChain[e.to] {
+				home += e.weight
+				continue
+			}
+			kept = append(kept, e)
+		}
+		if home > 0 {
+			merged := false
+			for i := range kept {
+				if kept[i].to == ixHome {
+					kept[i].weight += home
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				kept = append(kept, edge{ixHome, home})
+			}
+		}
+		if len(kept) == 0 {
+			kept = []edge{{ixHome, 1}}
+		}
+		out[from] = kept
+	}
+	return out
+}

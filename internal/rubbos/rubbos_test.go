@@ -1,0 +1,204 @@
+package rubbos
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/dist"
+)
+
+func TestStandardHas24Interactions(t *testing.T) {
+	w := Standard(ReadWrite)
+	if w.Len() != 24 {
+		t.Fatalf("interaction count %d, want 24 (the RUBBoS set)", w.Len())
+	}
+	seen := map[string]bool{}
+	for _, it := range w.Interactions() {
+		if it.Name == "" || it.URI == "" {
+			t.Fatalf("interaction with empty name/uri: %+v", it)
+		}
+		if seen[it.Name] {
+			t.Fatalf("duplicate interaction %q", it.Name)
+		}
+		seen[it.Name] = true
+		if it.Queries > 0 && it.SQL == "" {
+			t.Fatalf("%s issues queries but has no SQL template", it.Name)
+		}
+		if it.Queries == 0 && it.QueryCPU != 0 {
+			t.Fatalf("%s has query CPU but no queries", it.Name)
+		}
+		if it.Write && it.CommitKB <= 0 {
+			t.Fatalf("write interaction %s has no commit size", it.Name)
+		}
+	}
+	for _, name := range []string{
+		"StoriesOfTheDay", "ViewStory", "StoreComment", "SearchInStories",
+		"AcceptStory", "BrowseCategories", "OlderStories",
+	} {
+		if !seen[name] {
+			t.Fatalf("missing canonical RUBBoS interaction %q", name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w := Standard(ReadWrite)
+	i := w.ByName("ViewStory")
+	if i < 0 {
+		t.Fatal("ViewStory not found")
+	}
+	if w.Interaction(i).Name != "ViewStory" {
+		t.Fatal("ByName returned wrong index")
+	}
+	if w.ByName("NoSuchPage") != -1 {
+		t.Fatal("unknown name did not return -1")
+	}
+}
+
+func TestTransitionsReachable(t *testing.T) {
+	for _, mix := range []Mix{BrowseOnly, ReadWrite} {
+		w := Standard(mix)
+		src := dist.NewSource(1)
+		visited := map[int]bool{}
+		state := w.Start()
+		for i := 0; i < 100000; i++ {
+			visited[state] = true
+			state = w.Next(src, state)
+			if state < 0 || state >= w.Len() {
+				t.Fatalf("mix %v: transition to invalid state %d", mix, state)
+			}
+		}
+		if mix == ReadWrite && len(visited) != 24 {
+			t.Fatalf("read-write chain visited %d/24 interactions", len(visited))
+		}
+		if mix == BrowseOnly {
+			for ix := range visited {
+				if w.Interaction(ix).Write {
+					t.Fatalf("browse-only mix visited write interaction %s",
+						w.Interaction(ix).Name)
+				}
+			}
+		}
+	}
+}
+
+func TestBrowseOnlyAvoidsWriteChain(t *testing.T) {
+	w := Standard(BrowseOnly)
+	src := dist.NewSource(99)
+	state := w.Start()
+	for i := 0; i < 50000; i++ {
+		state = w.Next(src, state)
+		name := w.Interaction(state).Name
+		switch name {
+		case "PostComment", "StoreComment", "SubmitStory", "StoreStory",
+			"RegisterUser", "AcceptStory", "RejectStory", "AuthorLogin":
+			t.Fatalf("browse-only mix reached %s", name)
+		}
+	}
+}
+
+func TestReadWriteMixHasWrites(t *testing.T) {
+	w := Standard(ReadWrite)
+	src := dist.NewSource(7)
+	writes := 0
+	state := w.Start()
+	const n = 50000
+	for i := 0; i < n; i++ {
+		state = w.Next(src, state)
+		if w.Interaction(state).Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / n
+	if frac < 0.03 || frac > 0.25 {
+		t.Fatalf("write fraction %v outside the plausible RUBBoS RW range", frac)
+	}
+}
+
+func TestHomeAmongMostFrequent(t *testing.T) {
+	w := Standard(ReadWrite)
+	src := dist.NewSource(3)
+	counts := make([]int, w.Len())
+	state := w.Start()
+	for i := 0; i < 100000; i++ {
+		counts[state]++
+		state = w.Next(src, state)
+	}
+	home := w.ByName("StoriesOfTheDay")
+	higher := 0
+	for i, c := range counts {
+		if i != home && c > counts[home] {
+			higher++
+		}
+	}
+	// Home and ViewStory dominate real RUBBoS sessions; home must stay in
+	// the top three states of the stationary distribution.
+	if higher > 2 {
+		t.Fatalf("home ranked %d-th by frequency, want top 3", higher+1)
+	}
+}
+
+func TestSampleDemandPositiveAndNearMedian(t *testing.T) {
+	src := dist.NewSource(5)
+	med := 2 * time.Millisecond
+	below := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		d := SampleDemand(src, med)
+		if d <= 0 {
+			t.Fatalf("non-positive demand %v", d)
+		}
+		if d < med {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("median property violated: frac below = %v", frac)
+	}
+}
+
+func TestStandardPanicsOnBadMix(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Standard(0) did not panic")
+		}
+	}()
+	Standard(Mix(0))
+}
+
+// Property: from any valid state, Next always returns a valid state, for
+// both mixes and any seed.
+func TestNextTotalProperty(t *testing.T) {
+	wRW := Standard(ReadWrite)
+	wBO := Standard(BrowseOnly)
+	f := func(seed int64, stateRaw uint8, steps uint8) bool {
+		for _, w := range []*Workload{wRW, wBO} {
+			src := dist.NewSource(seed)
+			state := int(stateRaw) % w.Len()
+			for i := 0; i < int(steps); i++ {
+				state = w.Next(src, state)
+				if state < 0 || state >= w.Len() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicChain(t *testing.T) {
+	w := Standard(ReadWrite)
+	a, b := dist.NewSource(11), dist.NewSource(11)
+	sa, sb := w.Start(), w.Start()
+	for i := 0; i < 1000; i++ {
+		sa, sb = w.Next(a, sa), w.Next(b, sb)
+		if sa != sb {
+			t.Fatal("same seed produced different chains")
+		}
+	}
+}

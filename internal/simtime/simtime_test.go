@@ -1,0 +1,49 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWallAtEpoch(t *testing.T) {
+	w := Wall(0, 0)
+	if !w.Equal(Epoch) {
+		t.Fatalf("Wall(0,0) = %v", w)
+	}
+}
+
+func TestWallAppliesOffset(t *testing.T) {
+	w := Wall(time.Second, 250*time.Microsecond)
+	want := Epoch.Add(time.Second + 250*time.Microsecond)
+	if !w.Equal(want) {
+		t.Fatalf("Wall = %v, want %v", w, want)
+	}
+}
+
+func TestVirtualInvertsWall(t *testing.T) {
+	f := func(offNS int64, skewUS int16) bool {
+		if offNS < 0 {
+			offNS = -offNS
+		}
+		off := time.Duration(offNS % int64(100*time.Hour))
+		skew := time.Duration(skewUS) * time.Microsecond
+		return Virtual(Wall(off, skew), skew) == off
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMicrosRoundTrip(t *testing.T) {
+	w := Epoch.Add(12345678 * time.Microsecond)
+	if got := FromMicros(Micros(w)); !got.Equal(w) {
+		t.Fatalf("round trip %v -> %v", w, got)
+	}
+}
+
+func TestEpochIsUTC(t *testing.T) {
+	if Epoch.Location() != time.UTC {
+		t.Fatal("epoch not UTC")
+	}
+}

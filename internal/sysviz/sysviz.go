@@ -1,0 +1,245 @@
+// Package sysviz reproduces the reconstruction pipeline of Fujitsu SysViz,
+// the commercial passive-network-tracing system the paper validates
+// against (Section VI-A). From a tap capture with no request identifiers
+// it rebuilds:
+//
+//  1. per-hop transactions, by FIFO request/response matching on each
+//     persistent connection;
+//  2. cross-tier causal traces, by timing containment: a downstream call
+//     is attributed to the transaction that was active on its source
+//     server and most recently started — the standard nesting inference,
+//     and the part that degrades under high concurrency (the reason
+//     milliScope propagates explicit IDs instead);
+//  3. per-tier queue-length series from transaction open intervals, the
+//     series compared in Figure 9.
+package sysviz
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/gt-elba/milliscope/internal/des"
+	"github.com/gt-elba/milliscope/internal/ntier"
+)
+
+// HopTxn is one request/response pair on one connection: a transaction
+// residing at Server between Arrive (request hits the server) and Depart
+// (response leaves it).
+type HopTxn struct {
+	Conn   string
+	Server string // the downstream endpoint servicing the request
+	Caller string // the upstream endpoint that issued it
+	Arrive des.Time
+	Depart des.Time
+	// SentAt is when the request left the caller (used for nesting).
+	SentAt des.Time
+	// ReqSerial is ground truth carried for accuracy scoring only.
+	ReqSerial uint64
+
+	// Parent/Children form the inferred causal trace.
+	Parent   *HopTxn
+	Children []*HopTxn
+}
+
+// Duration returns the transaction's residence time at its server.
+func (t *HopTxn) Duration() des.Time { return t.Depart - t.Arrive }
+
+// MatchTransactions pairs each request with the next response on the same
+// connection (FIFO per connection, as TCP ordering guarantees).
+func MatchTransactions(msgs []ntier.Message) ([]*HopTxn, error) {
+	type pending struct {
+		m ntier.Message
+	}
+	open := make(map[string][]pending)
+	var txns []*HopTxn
+	for _, m := range msgs {
+		switch m.Kind {
+		case ntier.MsgRequest:
+			open[m.Conn] = append(open[m.Conn], pending{m: m})
+		case ntier.MsgResponse:
+			q := open[m.Conn]
+			if len(q) == 0 {
+				return nil, fmt.Errorf("sysviz: response without request on %s at %v", m.Conn, m.RecvAt)
+			}
+			req := q[0].m
+			open[m.Conn] = q[1:]
+			if req.Dst != m.Src || req.Src != m.Dst {
+				return nil, fmt.Errorf("sysviz: endpoint mismatch on %s: req %s->%s, resp %s->%s",
+					m.Conn, req.Src, req.Dst, m.Src, m.Dst)
+			}
+			txns = append(txns, &HopTxn{
+				Conn:      req.Conn,
+				Server:    req.Dst,
+				Caller:    req.Src,
+				Arrive:    req.RecvAt,
+				Depart:    m.SentAt,
+				SentAt:    req.SentAt,
+				ReqSerial: req.ReqSerial,
+			})
+		default:
+			return nil, fmt.Errorf("sysviz: unknown message kind %v", m.Kind)
+		}
+	}
+	// Unmatched requests (still in flight at capture end) are dropped:
+	// SysViz reconstructs completed transactions only.
+	sort.Slice(txns, func(i, j int) bool { return txns[i].Arrive < txns[j].Arrive })
+	return txns, nil
+}
+
+// BuildTraces infers the causal forest: each transaction whose caller is a
+// tier server (not the client) is attached to the transaction that was
+// active at that server when the request was sent, preferring the most
+// recently arrived candidate. Roots are client-issued transactions.
+//
+// It returns the roots. Transactions whose parent cannot be resolved stay
+// parentless (counted by the caller via Parent == nil).
+func BuildTraces(txns []*HopTxn) []*HopTxn {
+	// Index transactions by server, sorted by arrival (MatchTransactions
+	// already sorted globally, so per-server order is preserved).
+	byServer := make(map[string][]*HopTxn)
+	for _, t := range txns {
+		byServer[t.Server] = append(byServer[t.Server], t)
+	}
+	// Attach in send order so each caller's outstanding-child bookkeeping
+	// reflects every earlier send when a later one is resolved.
+	bySend := make([]*HopTxn, len(txns))
+	copy(bySend, txns)
+	sort.Slice(bySend, func(i, j int) bool { return bySend[i].SentAt < bySend[j].SentAt })
+	var roots []*HopTxn
+	for _, t := range bySend {
+		candidates := byServer[t.Caller]
+		if len(candidates) == 0 {
+			// Caller is not a serviced tier (the client): a root.
+			roots = append(roots, t)
+			continue
+		}
+		parent := nestParent(candidates, t.SentAt)
+		if parent == nil {
+			continue
+		}
+		t.Parent = parent
+		parent.Children = append(parent.Children, t)
+	}
+	return roots
+}
+
+// nestParent finds the transaction at the caller server whose open
+// interval contains sentAt, preferring the latest-arrived candidate that
+// is *eligible*: a synchronous caller blocked on an outstanding downstream
+// call cannot issue a second one, so candidates with a child interval
+// covering sentAt are skipped. Binary search bounds candidates by arrival.
+func nestParent(candidates []*HopTxn, sentAt des.Time) *HopTxn {
+	// First candidate arriving after sentAt cannot contain it.
+	hi := sort.Search(len(candidates), func(i int) bool {
+		return candidates[i].Arrive > sentAt
+	})
+	var fallback *HopTxn
+	for i := hi - 1; i >= 0; i-- {
+		c := candidates[i]
+		if c.Depart < sentAt {
+			// Keep scanning: an earlier-arrived transaction can still be
+			// open (long residency) even though a later one departed.
+			if hi-i > 512 {
+				break // bound the scan; deeper history cannot plausibly nest
+			}
+			continue
+		}
+		if busyWithChild(c, sentAt) {
+			if fallback == nil {
+				fallback = c
+			}
+			continue
+		}
+		return c
+	}
+	return fallback
+}
+
+// busyWithChild reports whether t already has an inferred downstream call
+// outstanding at the given instant. The child's occupancy is extended past
+// its departure by the observed forward wire latency, approximating the
+// response's return flight during which the caller is still blocked.
+func busyWithChild(t *HopTxn, at des.Time) bool {
+	for _, c := range t.Children {
+		end := c.Depart + (c.Arrive - c.SentAt)
+		if c.SentAt <= at && at <= end {
+			return true
+		}
+	}
+	return false
+}
+
+// PathAccuracy scores the inferred parent links against ground truth: the
+// fraction of non-root transactions whose parent has the same request
+// serial. This quantifies the cost of timing-based nesting vs explicit ID
+// propagation (milliScope's design choice).
+func PathAccuracy(txns []*HopTxn) (correct, total int) {
+	for _, t := range txns {
+		if t.Parent == nil {
+			continue
+		}
+		total++
+		if t.Parent.ReqSerial == t.ReqSerial {
+			correct++
+		}
+	}
+	return correct, total
+}
+
+// QueuePoint is one sample of a per-tier queue-length series.
+type QueuePoint struct {
+	At des.Time
+	N  int
+}
+
+// QueueSeries computes the instantaneous number of open transactions at
+// the given server, sampled every step from the first arrival to the last
+// departure. This is the SysViz side of the Figure 9 comparison.
+func QueueSeries(txns []*HopTxn, server string, step des.Time) []QueuePoint {
+	if step <= 0 {
+		panic(fmt.Sprintf("sysviz: non-positive step %v", step))
+	}
+	type ev struct {
+		at des.Time
+		d  int
+	}
+	var evs []ev
+	var lo, hi des.Time
+	first := true
+	for _, t := range txns {
+		if t.Server != server {
+			continue
+		}
+		evs = append(evs, ev{t.Arrive, +1}, ev{t.Depart, -1})
+		if first || t.Arrive < lo {
+			lo = t.Arrive
+		}
+		if first || t.Depart > hi {
+			hi = t.Depart
+		}
+		first = false
+	}
+	if len(evs) == 0 {
+		return nil
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].d > evs[j].d // arrivals before departures at a tie
+	})
+	// Snap onto the step grid so samples line up with series derived by
+	// other monitors at the same step.
+	lo -= lo % step
+	var out []QueuePoint
+	n := 0
+	k := 0
+	for at := lo; at <= hi; at += step {
+		for k < len(evs) && evs[k].at <= at {
+			n += evs[k].d
+			k++
+		}
+		out = append(out, QueuePoint{At: at, N: n})
+	}
+	return out
+}

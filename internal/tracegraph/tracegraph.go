@@ -1,0 +1,318 @@
+// Package tracegraph reconstructs per-request causal paths from the event
+// tables in mScopeDB (paper Section IV-B, Figure 5): records carrying the
+// same propagated request ID are joined across tiers, establishing
+// happens-before relationships without any assumptions about server
+// interactions. The reconstruction also yields each tier's latency
+// contribution, the input for diagnosing which server elongates a very
+// long request.
+package tracegraph
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/mscopedb"
+)
+
+// Span is one tier visit of a request, timestamps in microsecond epochs on
+// the tier node's clock. DS/DR are zero when the visit made no downstream
+// call.
+type Span struct {
+	Tier string
+	Seq  int
+	UA   int64
+	UD   int64
+	DS   int64
+	DR   int64
+}
+
+// Local returns the span's tier-local processing time.
+func (s Span) Local() time.Duration {
+	total := s.UD - s.UA
+	if s.DS != 0 && s.DR >= s.DS {
+		total -= s.DR - s.DS
+	}
+	return time.Duration(total) * time.Microsecond
+}
+
+// Residence returns the span's total residence time at its tier.
+func (s Span) Residence() time.Duration {
+	return time.Duration(s.UD-s.UA) * time.Microsecond
+}
+
+// Trace is one request's reconstructed execution path.
+type Trace struct {
+	ReqID string
+	// Spans are ordered by tier depth (the order Build received the event
+	// tables) and then by query sequence.
+	Spans []Span
+}
+
+// ResponseTime returns the front-tier residence (the client-visible
+// response time less wire latency).
+func (t *Trace) ResponseTime() time.Duration {
+	if len(t.Spans) == 0 {
+		return 0
+	}
+	return t.Spans[0].Residence()
+}
+
+// TierTime sums residence per tier.
+func (t *Trace) TierTime() map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for _, s := range t.Spans {
+		out[s.Tier] += s.Residence()
+	}
+	return out
+}
+
+// LocalTime sums tier-local (downstream-excluded) time per tier: the
+// per-server latency contribution.
+func (t *Trace) LocalTime() map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for _, s := range t.Spans {
+		out[s.Tier] += s.Local()
+	}
+	return out
+}
+
+// Validate checks happens-before consistency within the trace, allowing
+// for cross-node clock skew up to the tolerance: for adjacent tiers the
+// parent's DS must not be (much) later than the child's first UA, and the
+// child's last UD not (much) later than the parent's DR.
+func (t *Trace) Validate(tierOrder []string, skewTolerance time.Duration) error {
+	tol := skewTolerance.Microseconds()
+	byTier := make(map[string][]Span)
+	for _, s := range t.Spans {
+		if s.UA > s.UD {
+			return fmt.Errorf("tracegraph: %s: %s span with UA after UD", t.ReqID, s.Tier)
+		}
+		byTier[s.Tier] = append(byTier[s.Tier], s)
+	}
+	for i := 0; i+1 < len(tierOrder); i++ {
+		parents := byTier[tierOrder[i]]
+		children := byTier[tierOrder[i+1]]
+		if len(parents) == 0 || len(children) == 0 {
+			continue
+		}
+		if len(parents) == len(children) {
+			// Per-query tiers (e.g. C-JDBC → MySQL): the nth child visit
+			// nests inside the nth parent visit.
+			for j := range parents {
+				if err := t.checkNesting(parents[j], []Span{children[j]},
+					tierOrder[i], tierOrder[i+1], tol); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		// Fan-out (e.g. Tomcat → n C-JDBC queries): every child nests in
+		// the single parent's downstream window.
+		if len(parents) != 1 {
+			return fmt.Errorf("tracegraph: %s: %d %s visits cannot parent %d %s visits",
+				t.ReqID, len(parents), tierOrder[i], len(children), tierOrder[i+1])
+		}
+		if err := t.checkNesting(parents[0], children, tierOrder[i], tierOrder[i+1], tol); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkNesting verifies children fall within the parent's DS..DR window,
+// within the skew tolerance.
+func (t *Trace) checkNesting(p Span, children []Span, pTier, cTier string, tol int64) error {
+	if p.DS == 0 {
+		return fmt.Errorf("tracegraph: %s: %s has children but no DS", t.ReqID, pTier)
+	}
+	firstUA, lastUD := children[0].UA, children[0].UD
+	for _, c := range children[1:] {
+		if c.UA < firstUA {
+			firstUA = c.UA
+		}
+		if c.UD > lastUD {
+			lastUD = c.UD
+		}
+	}
+	if p.DS > firstUA+tol {
+		return fmt.Errorf("tracegraph: %s: %s DS %d after %s UA %d (tol %d)",
+			t.ReqID, pTier, p.DS, cTier, firstUA, tol)
+	}
+	if lastUD > p.DR+tol {
+		return fmt.Errorf("tracegraph: %s: %s UD %d after %s DR %d (tol %d)",
+			t.ReqID, cTier, lastUD, pTier, p.DR, tol)
+	}
+	return nil
+}
+
+// TierProfile aggregates one tier's latency contribution across traces.
+type TierProfile struct {
+	// Visits counts tier visits across the trace set.
+	Visits int
+	// MeanLocal and P99Local summarize tier-local (downstream-excluded)
+	// time per visit.
+	MeanLocal time.Duration
+	P99Local  time.Duration
+	// MeanResidence summarizes total per-visit residence.
+	MeanResidence time.Duration
+}
+
+// AggregateBreakdown profiles every tier across a trace set: the
+// per-server latency contribution the paper derives to find "the server
+// causing VLRT requests".
+func AggregateBreakdown(traces map[string]*Trace) map[string]TierProfile {
+	locals := make(map[string][]time.Duration)
+	resSum := make(map[string]time.Duration)
+	for _, tr := range traces {
+		for _, sp := range tr.Spans {
+			locals[sp.Tier] = append(locals[sp.Tier], sp.Local())
+			resSum[sp.Tier] += sp.Residence()
+		}
+	}
+	out := make(map[string]TierProfile, len(locals))
+	for tier, ls := range locals {
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		var sum time.Duration
+		for _, d := range ls {
+			sum += d
+		}
+		n := len(ls)
+		out[tier] = TierProfile{
+			Visits:        n,
+			MeanLocal:     sum / time.Duration(n),
+			P99Local:      ls[n*99/100],
+			MeanResidence: resSum[tier] / time.Duration(n),
+		}
+	}
+	return out
+}
+
+// Build joins the given event tables by request ID. Table order defines
+// tier depth (front tier first). Records without a request ID (e.g.
+// un-instrumented MySQL statements) are skipped.
+func Build(db *mscopedb.DB, eventTables []string) (map[string]*Trace, error) {
+	traces := make(map[string]*Trace)
+	for _, name := range eventTables {
+		tbl, err := db.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := addTable(traces, tbl); err != nil {
+			return nil, fmt.Errorf("tracegraph: %s: %w", name, err)
+		}
+	}
+	for _, tr := range traces {
+		sortSpans(tr)
+	}
+	return traces, nil
+}
+
+// tierOfTable derives the tier name from an event-table name
+// ("apache_event" → "apache").
+func tierOfTable(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '_' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func addTable(traces map[string]*Trace, tbl *mscopedb.Table) error {
+	tier := tierOfTable(tbl.Name())
+	reqCI := tbl.ColIndex("reqid")
+	uaCI := tbl.ColIndex("ua")
+	udCI := tbl.ColIndex("ud")
+	if uaCI < 0 || udCI < 0 {
+		return fmt.Errorf("missing ua/ud columns")
+	}
+	if reqCI < 0 {
+		return fmt.Errorf("missing reqid column")
+	}
+	dsCI := tbl.ColIndex("ds")
+	drCI := tbl.ColIndex("dr")
+	qCI := tbl.ColIndex("q")
+	cols := tbl.Columns()
+	for r := 0; r < tbl.Rows(); r++ {
+		if cols[reqCI].Type != mscopedb.TString {
+			return fmt.Errorf("reqid column is %v, want string", cols[reqCI].Type)
+		}
+		id := tbl.Str(reqCI, r)
+		if id == "" {
+			continue
+		}
+		sp := Span{Tier: tier}
+		var err error
+		if sp.UA, err = microsCell(tbl, cols, uaCI, r); err != nil {
+			return err
+		}
+		if sp.UD, err = microsCell(tbl, cols, udCI, r); err != nil {
+			return err
+		}
+		if dsCI >= 0 {
+			if sp.DS, err = microsCell(tbl, cols, dsCI, r); err != nil {
+				return err
+			}
+		}
+		if drCI >= 0 {
+			if sp.DR, err = microsCell(tbl, cols, drCI, r); err != nil {
+				return err
+			}
+		}
+		if qCI >= 0 {
+			q, err := microsCell(tbl, cols, qCI, r)
+			if err != nil {
+				return err
+			}
+			sp.Seq = int(q)
+		}
+		tr := traces[id]
+		if tr == nil {
+			tr = &Trace{ReqID: id}
+			traces[id] = tr
+		}
+		tr.Spans = append(tr.Spans, sp)
+	}
+	return nil
+}
+
+// microsCell reads a numeric cell that schema inference may have typed as
+// int (pure numeric column) or string (column mixing numbers with the "-"
+// no-downstream marker).
+func microsCell(tbl *mscopedb.Table, cols []mscopedb.Column, ci, row int) (int64, error) {
+	switch cols[ci].Type {
+	case mscopedb.TInt:
+		return tbl.Int(ci, row), nil
+	case mscopedb.TString:
+		s := tbl.Str(ci, row)
+		if s == "-" || s == "" {
+			return 0, nil
+		}
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("cell %q in %s.%s: %w", s, tbl.Name(), cols[ci].Name, err)
+		}
+		return v, nil
+	default:
+		return 0, fmt.Errorf("%s.%s: unsupported type %v for micros", tbl.Name(), cols[ci].Name, cols[ci].Type)
+	}
+}
+
+// sortSpans keeps the tier insertion order (Build adds front tier first)
+// and orders within a tier by Seq then UA.
+func sortSpans(tr *Trace) {
+	// Spans were appended table by table, so tiers are already grouped in
+	// depth order; a stable sort by (existing group, Seq, UA) preserves it.
+	sort.SliceStable(tr.Spans, func(i, j int) bool {
+		a, b := tr.Spans[i], tr.Spans[j]
+		if a.Tier != b.Tier {
+			return false // keep group order
+		}
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		return a.UA < b.UA
+	})
+}

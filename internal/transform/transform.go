@@ -1,0 +1,232 @@
+// Package transform implements mScopeDataTransformer (paper Section
+// III-B): the multi-stage pipeline that unifies heterogeneous monitoring
+// logs into the warehouse.
+//
+// Stage 1, Parsing Declaration, is a declarative registry (Plan) mapping
+// log-file patterns to a parser and its instructions. Stage 2 executes the
+// bound mScopeParser, enriching the raw log into annotated XML. Stage 3
+// hands the XML to the mScope XMLtoCSV Converter, and stage 4 to the
+// mScope Data Importer, which creates and populates mScopeDB tables.
+package transform
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/gt-elba/milliscope/internal/importer"
+	"github.com/gt-elba/milliscope/internal/mscopedb"
+	"github.com/gt-elba/milliscope/internal/mxml"
+	"github.com/gt-elba/milliscope/internal/parsers"
+	"github.com/gt-elba/milliscope/internal/simtime"
+	"github.com/gt-elba/milliscope/internal/xmlcsv"
+)
+
+// Binding is one Parsing Declaration entry: files matching Glob are parsed
+// by Parser with the given Instructions.
+type Binding struct {
+	// Glob matches the file's base name (path.Match syntax).
+	Glob string `json:"glob"`
+	// Parser is the registry name (see parsers.Names).
+	Parser string `json:"parser"`
+	// Instructions govern how the parser injects semantics.
+	Instructions parsers.Instructions `json:"instructions"`
+	// Source is the monitor identity recorded in the document meta.
+	Source string `json:"source"`
+	// TableSuffix forms the target table name as "<host>_<suffix>".
+	TableSuffix string `json:"table_suffix"`
+	// Host fixes the host name; when empty the host is derived from the
+	// file name (the stem before the first underscore).
+	Host string `json:"host,omitempty"`
+}
+
+// Plan is the full Parsing Declaration: the binding list consulted in
+// order (first match wins).
+type Plan struct {
+	Bindings []Binding `json:"bindings"`
+}
+
+// DefaultPlan declares every format the simulated testbed produces: the
+// four event-monitor logs, both SAR paths, iostat and both collectl modes.
+func DefaultPlan() *Plan {
+	date := simtime.Epoch.Format("2006-01-02")
+	return &Plan{Bindings: []Binding{
+		{Glob: "*_access.log", Parser: "token", Instructions: parsers.ApacheInstructions(),
+			Source: "apache-event", TableSuffix: "event"},
+		{Glob: "*_mscope.log", Parser: "token", Instructions: parsers.TomcatInstructions(),
+			Source: "tomcat-event", TableSuffix: "event"},
+		{Glob: "*_ctrl.log", Parser: "token", Instructions: parsers.CJDBCInstructions(),
+			Source: "cjdbc-event", TableSuffix: "event"},
+		{Glob: "*_slow.log", Parser: "mysql-slow", Source: "mysql-event", TableSuffix: "event"},
+		{Glob: "*_sar.log", Parser: "sar", Source: "sar", TableSuffix: "sar"},
+		{Glob: "*_sar.xml", Parser: "sar-xml", Source: "sar-xml", TableSuffix: "sarxml"},
+		{Glob: "*_iostat.log", Parser: "iostat", Source: "iostat", TableSuffix: "iostat"},
+		{Glob: "*_collectl.log", Parser: "collectl", Source: "collectl", TableSuffix: "collectl",
+			Instructions: parsers.Instructions{Const: map[string]string{"date": date}}},
+		{Glob: "*_collectl.csv", Parser: "collectl-csv", Source: "collectl-csv", TableSuffix: "collectlcsv"},
+		{Glob: "*_pidstat.log", Parser: "pidstat", Source: "pidstat", TableSuffix: "pidstat"},
+	}}
+}
+
+// Find returns the first binding matching the file's base name.
+func (p *Plan) Find(filename string) (Binding, bool) {
+	base := filepath.Base(filename)
+	for _, b := range p.Bindings {
+		ok, err := filepath.Match(b.Glob, base)
+		if err == nil && ok {
+			return b, true
+		}
+	}
+	return Binding{}, false
+}
+
+// Save writes the plan as JSON — the declaration is data, not code.
+func (p *Plan) Save(path string) error {
+	data, err := json.MarshalIndent(p, "", " ")
+	if err != nil {
+		return fmt.Errorf("transform: marshal plan: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("transform: write plan: %w", err)
+	}
+	return nil
+}
+
+// LoadPlan reads a JSON plan.
+func LoadPlan(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("transform: read plan: %w", err)
+	}
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("transform: parse plan %s: %w", path, err)
+	}
+	if len(p.Bindings) == 0 {
+		return nil, fmt.Errorf("transform: plan %s has no bindings", path)
+	}
+	return &p, nil
+}
+
+// hostOf derives the host from a log file name: "mysql_collectl.csv" →
+// "mysql".
+func hostOf(filename string, b Binding) string {
+	if b.Host != "" {
+		return b.Host
+	}
+	base := filepath.Base(filename)
+	if i := strings.IndexByte(base, '_'); i > 0 {
+		return base[:i]
+	}
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+// FileResult reports one stage-2 execution.
+type FileResult struct {
+	Input    string
+	Parser   string
+	Table    string
+	MXMLPath string
+	Entries  int
+}
+
+// TransformFile runs stage 2 on one file: parse the raw log into an
+// annotated-XML document in workDir.
+func TransformFile(path string, b Binding, workDir string) (FileResult, error) {
+	var out FileResult
+	p, err := parsers.Get(b.Parser)
+	if err != nil {
+		return out, err
+	}
+	if err := os.MkdirAll(workDir, 0o755); err != nil {
+		return out, fmt.Errorf("transform: create work dir: %w", err)
+	}
+	host := hostOf(path, b)
+	table := host + "_" + b.TableSuffix
+	in, err := os.Open(path)
+	if err != nil {
+		return out, fmt.Errorf("transform: open %s: %w", path, err)
+	}
+	defer in.Close()
+
+	mxmlPath := filepath.Join(workDir, table+".mxml")
+	outF, err := os.Create(mxmlPath)
+	if err != nil {
+		return out, fmt.Errorf("transform: create %s: %w", mxmlPath, err)
+	}
+	defer outF.Close()
+	w := mxml.NewWriter(outF)
+	if err := w.Open(mxml.Meta{Source: b.Source, Host: host, Table: table}); err != nil {
+		return out, err
+	}
+	if err := p.Parse(in, b.Instructions, w.WriteEntry); err != nil {
+		return out, fmt.Errorf("transform: %s: %w", path, err)
+	}
+	if err := w.Close(); err != nil {
+		return out, err
+	}
+	out = FileResult{Input: path, Parser: b.Parser, Table: table,
+		MXMLPath: mxmlPath, Entries: w.Entries()}
+	return out, nil
+}
+
+// Report summarizes a full directory ingest.
+type Report struct {
+	Files   []FileResult
+	Loads   []importer.Loaded
+	Skipped []string
+}
+
+// TotalRows returns the number of warehouse rows loaded.
+func (r Report) TotalRows() int {
+	n := 0
+	for _, l := range r.Loads {
+		n += l.Rows
+	}
+	return n
+}
+
+// IngestDir runs the whole pipeline over a log directory: for each file
+// with a declaration, parse → convert → load into db. Files with no
+// binding are reported in Skipped, not failed: a log directory routinely
+// contains artifacts (network traces, notes) outside the declaration.
+func IngestDir(db *mscopedb.DB, logDir, workDir string, plan *Plan) (Report, error) {
+	var rep Report
+	entries, err := os.ReadDir(logDir)
+	if err != nil {
+		return rep, fmt.Errorf("transform: read log dir: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // deterministic ingest order
+	for _, name := range names {
+		full := filepath.Join(logDir, name)
+		b, ok := plan.Find(name)
+		if !ok {
+			rep.Skipped = append(rep.Skipped, name)
+			continue
+		}
+		fr, err := TransformFile(full, b, workDir)
+		if err != nil {
+			return rep, err
+		}
+		rep.Files = append(rep.Files, fr)
+		conv, err := xmlcsv.ConvertFile(fr.MXMLPath, workDir)
+		if err != nil {
+			return rep, err
+		}
+		loaded, err := importer.LoadFile(db, conv.CSVPath, conv.SchemaPath)
+		if err != nil {
+			return rep, err
+		}
+		rep.Loads = append(rep.Loads, loaded)
+	}
+	return rep, nil
+}

@@ -1,0 +1,249 @@
+package xmlcsv
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/gt-elba/milliscope/internal/mscopedb"
+	"github.com/gt-elba/milliscope/internal/mxml"
+)
+
+// writeDoc builds an mxml file from entries.
+func writeDoc(t *testing.T, dir string, meta mxml.Meta, entries []mxml.Entry) string {
+	t.Helper()
+	path := filepath.Join(dir, meta.Table+".mxml")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mxml.NewWriter(f)
+	if err := w.Open(meta); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := w.WriteEntry(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func entry(pairs ...string) mxml.Entry {
+	var e mxml.Entry
+	for i := 0; i+1 < len(pairs); i += 2 {
+		e.Add(pairs[i], pairs[i+1])
+	}
+	return e
+}
+
+func TestSchemaInferenceTypes(t *testing.T) {
+	dir := t.TempDir()
+	var timed mxml.Entry
+	timed.AddTyped("ts", "2017-04-01T00:00:12.345Z", "time")
+	timed.Add("n", "42")
+	timed.Add("f", "3.5")
+	timed.Add("s", "hello")
+	entries := []mxml.Entry{
+		timed,
+		entry("n", "7", "f", "2", "s", "9"), // f stays float (int ⊂ float); s mixes text+num → string
+	}
+	path := writeDoc(t, dir, mxml.Meta{Source: "x", Host: "h", Table: "t1"}, entries)
+	conv, err := ConvertFile(path, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := map[string]mscopedb.Type{}
+	for _, c := range conv.Columns {
+		types[c.Name] = c.Type
+	}
+	if types["ts"] != mscopedb.TTime {
+		t.Fatalf("ts inferred %v", types["ts"])
+	}
+	if types["n"] != mscopedb.TInt {
+		t.Fatalf("n inferred %v", types["n"])
+	}
+	if types["f"] != mscopedb.TFloat {
+		t.Fatalf("f inferred %v (narrowest holding 3.5 and 2)", types["f"])
+	}
+	if types["s"] != mscopedb.TString {
+		t.Fatalf("s inferred %v", types["s"])
+	}
+	if conv.Rows != 2 {
+		t.Fatalf("rows %d", conv.Rows)
+	}
+}
+
+func TestColumnUnionAndMissingCells(t *testing.T) {
+	dir := t.TempDir()
+	entries := []mxml.Entry{
+		entry("a", "1"),
+		entry("a", "2", "b", "x"),
+		entry("b", "y", "c", "3.5"),
+	}
+	path := writeDoc(t, dir, mxml.Meta{Table: "t2"}, entries)
+	conv, err := ConvertFile(path, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conv.Columns) != 3 {
+		t.Fatalf("union has %d columns", len(conv.Columns))
+	}
+	// Column order follows first appearance.
+	if conv.Columns[0].Name != "a" || conv.Columns[1].Name != "b" || conv.Columns[2].Name != "c" {
+		t.Fatalf("column order %+v", conv.Columns)
+	}
+	data, err := os.ReadFile(conv.CSVPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines %d", len(lines))
+	}
+	if lines[1] != "1,," {
+		t.Fatalf("row 1 = %q, want missing cells empty", lines[1])
+	}
+	if lines[3] != ",y,3.5" {
+		t.Fatalf("row 3 = %q", lines[3])
+	}
+}
+
+func TestIntTimeMixDegradesToString(t *testing.T) {
+	dir := t.TempDir()
+	var e1, e2 mxml.Entry
+	e1.AddTyped("x", "2017-04-01T00:00:12.345Z", "time")
+	e2.Add("x", "42")
+	path := writeDoc(t, dir, mxml.Meta{Table: "t3"}, []mxml.Entry{e1, e2})
+	conv, err := ConvertFile(path, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv.Columns[0].Type != mscopedb.TString {
+		t.Fatalf("time+int inferred %v, want string", conv.Columns[0].Type)
+	}
+}
+
+func TestEmptyValuesDoNotWiden(t *testing.T) {
+	dir := t.TempDir()
+	entries := []mxml.Entry{
+		entry("n", "1"),
+		entry("n", ""),
+		entry("n", "3"),
+	}
+	path := writeDoc(t, dir, mxml.Meta{Table: "t4"}, entries)
+	conv, err := ConvertFile(path, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv.Columns[0].Type != mscopedb.TInt {
+		t.Fatalf("empty cells widened type to %v", conv.Columns[0].Type)
+	}
+}
+
+func TestDashTimestampsMakeStringColumn(t *testing.T) {
+	// The ds/dr fields are micros ints or "-": must infer string, the
+	// narrowest type storing both.
+	dir := t.TempDir()
+	entries := []mxml.Entry{
+		entry("ds", "1491004812345678"),
+		entry("ds", "-"),
+	}
+	path := writeDoc(t, dir, mxml.Meta{Table: "t5"}, entries)
+	conv, err := ConvertFile(path, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv.Columns[0].Type != mscopedb.TString {
+		t.Fatalf("int+dash inferred %v", conv.Columns[0].Type)
+	}
+}
+
+func TestSchemaSidecarRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := writeDoc(t, dir, mxml.Meta{Source: "sar", Host: "db1", Table: "db1_sar"},
+		[]mxml.Entry{entry("user", "12.5")})
+	conv, err := ConvertFile(path, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, cols, err := ReadSchema(conv.SchemaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Table != "db1_sar" || schema.Host != "db1" || schema.Source != "sar" {
+		t.Fatalf("schema meta %+v", schema)
+	}
+	if len(cols) != 1 || cols[0] != (mscopedb.Column{Name: "user", Type: mscopedb.TFloat}) {
+		t.Fatalf("schema cols %+v", cols)
+	}
+	if SchemaPathFor(conv.CSVPath) != conv.SchemaPath {
+		t.Fatal("schema path convention mismatch")
+	}
+}
+
+func TestMergeLattice(t *testing.T) {
+	cases := []struct {
+		a, b, want inferState
+	}{
+		{stUnknown, stInt, stInt},
+		{stInt, stUnknown, stInt},
+		{stInt, stInt, stInt},
+		{stInt, stFloat, stFloat},
+		{stFloat, stInt, stFloat},
+		{stInt, stTime, stString},
+		{stTime, stFloat, stString},
+		{stTime, stTime, stTime},
+		{stString, stInt, stString},
+	}
+	for _, c := range cases {
+		if got := merge(c.a, c.b); got != c.want {
+			t.Fatalf("merge(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: merge is commutative and idempotent over the whole lattice.
+func TestMergeProperties(t *testing.T) {
+	states := []inferState{stUnknown, stInt, stFloat, stTime, stString}
+	f := func(ai, bi uint8) bool {
+		a := states[int(ai)%len(states)]
+		b := states[int(bi)%len(states)]
+		if merge(a, b) != merge(b, a) {
+			return false
+		}
+		return merge(a, a) == a || a == stUnknown
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		v, hint string
+		want    inferState
+	}{
+		{"", "", stUnknown},
+		{"42", "", stInt},
+		{"-17", "", stInt},
+		{"3.5", "", stFloat},
+		{"2017-04-01T00:00:12.345Z", "time", stTime},
+		{"2017-04-01T00:00:12.345Z", "", stTime},
+		{"hello", "", stString},
+		{"not-a-time", "time", stString},
+	}
+	for _, c := range cases {
+		if got := classify(c.v, c.hint); got != c.want {
+			t.Fatalf("classify(%q,%q) = %v, want %v", c.v, c.hint, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package milliscope_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gt-elba/milliscope"
+)
+
+// TestPublicAPIEndToEnd walks the full public surface: run → ingest →
+// query → traces → diagnosis → figure rendering, on a short faulted trial.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	cfg := milliscope.ScenarioDBIO(t.TempDir())
+	cfg.Ntier.Users = 100
+	cfg.Ntier.Duration = 9 * time.Second
+	res, err := milliscope.RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	db, rep, err := res.Ingest(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalRows() == 0 {
+		t.Fatal("no rows ingested")
+	}
+
+	// Query.
+	out, err := milliscope.Query(db,
+		"SELECT reqid, rt_us FROM apache_event ORDER BY rt_us DESC LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 3 {
+		t.Fatalf("query rows %d", len(out.Rows))
+	}
+
+	// Traces + rendering.
+	traces, err := milliscope.BuildTraces(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := traces[out.Rows[0][0]]
+	if !ok {
+		t.Fatalf("no trace for %s", out.Rows[0][0])
+	}
+	var buf bytes.Buffer
+	if err := milliscope.RenderTrace(&buf, tr, 60); err != nil {
+		t.Fatal(err)
+	}
+	for _, tier := range milliscope.Tiers {
+		if !strings.Contains(buf.String(), tier) {
+			t.Fatalf("trace render missing tier %s:\n%s", tier, buf.String())
+		}
+	}
+
+	// Diagnosis (the flush fires at t=6s, inside this 9s trial).
+	diag, err := milliscope.Diagnose(db, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diag.Windows) == 0 {
+		t.Fatal("no VLRT window diagnosed")
+	}
+	if diag.Windows[0].Kind != milliscope.CauseDiskIO || diag.Windows[0].Node != "mysql" {
+		t.Fatalf("diagnosis %v@%s", diag.Windows[0].Kind, diag.Windows[0].Node)
+	}
+
+	// Figures render.
+	fig, pit, err := milliscope.Fig2PointInTime(db, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pit.PeakFactor() < 10 {
+		t.Fatalf("peak factor %.1f", pit.PeakFactor())
+	}
+	buf.Reset()
+	if err := fig.Render(&buf, 60, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fig2") {
+		t.Fatal("figure render missing id")
+	}
+}
+
+// TestWarehousePersistenceAcrossAPI saves and reloads through the façade.
+func TestWarehousePersistenceAcrossAPI(t *testing.T) {
+	cfg := milliscope.ScenarioDBIO(t.TempDir())
+	cfg.Ntier.Users = 30
+	cfg.Ntier.Duration = 2 * time.Second
+	cfg.Injectors = nil
+	res, err := milliscope.RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _, err := res.Ingest(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/w.db"
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := milliscope.LoadDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, err := milliscope.Query(db, "SELECT WINDOW 1s COUNT() BY ud FROM apache_event")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := milliscope.Query(db2, "SELECT WINDOW 1s COUNT() BY ud FROM apache_event")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o1.Rows) != len(o2.Rows) {
+		t.Fatalf("reloaded warehouse differs: %d vs %d windows", len(o1.Rows), len(o2.Rows))
+	}
+	for i := range o1.Rows {
+		if o1.Rows[i][1] != o2.Rows[i][1] {
+			t.Fatalf("window %d differs: %v vs %v", i, o1.Rows[i], o2.Rows[i])
+		}
+	}
+}
+
+// TestDeterministicWarehouse: identical configs produce identical
+// warehouse contents (the reproducibility guarantee).
+func TestDeterministicWarehouse(t *testing.T) {
+	build := func() string {
+		cfg := milliscope.ScenarioDBIO(t.TempDir())
+		cfg.Ntier.Users = 40
+		cfg.Ntier.Duration = 2 * time.Second
+		res, err := milliscope.RunExperiment(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, _, err := res.Ingest(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := milliscope.Query(db,
+			"SELECT reqid, ua, ud FROM mysql_event ORDER BY ua ASC LIMIT 50")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, r := range out.Rows {
+			b.WriteString(strings.Join(r, ","))
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	if build() != build() {
+		t.Fatal("identical configs produced different warehouses")
+	}
+}
