@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench cover experiment clean
+.PHONY: all build vet test test-short race race-short bench cover fuzz chaos experiment clean
 
-all: build vet test
+all: build vet race-short test
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,10 @@ test-short:
 race:
 	$(GO) test -race ./...
 
+# Race detector over the quick suite; part of `all`.
+race-short:
+	$(GO) test -race -short ./...
+
 # Regenerates every paper figure and ablation; writes bench_output.txt.
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
@@ -30,9 +34,24 @@ bench:
 cover:
 	$(GO) test -short -cover ./...
 
+# Short fuzz pass over the event-log parsers (native go fuzzing).
+fuzz:
+	$(GO) test -fuzz FuzzApacheAccessLog -fuzztime 30s ./internal/parsers/
+	$(GO) test -fuzz FuzzMySQLSlowLog -fuzztime 30s ./internal/parsers/
+
+# End-to-end chaos drill: run a trial, corrupt its logs deterministically,
+# ingest the damage under the quarantine policy, and diagnose anyway.
+chaos:
+	rm -rf /tmp/mscope-chaos
+	$(GO) run ./cmd/mscope run --scenario dbio --out /tmp/mscope-chaos/logs
+	$(GO) run ./cmd/mscope chaos --logs /tmp/mscope-chaos/logs --out /tmp/mscope-chaos/corrupted --seed 1 --rate 0.01
+	$(GO) run ./cmd/mscope ingest --logs /tmp/mscope-chaos/corrupted --work /tmp/mscope-chaos/work \
+		--db /tmp/mscope-chaos/w.db --mode quarantine --budget 0.25
+	$(GO) run ./cmd/mscope diagnose --db /tmp/mscope-chaos/w.db
+
 # One-command reproduction of the whole evaluation (ASCII figures).
 experiment:
 	$(GO) run ./cmd/mscope experiment --out /tmp/mscope-exp
 
 clean:
-	rm -rf /tmp/mscope-exp
+	rm -rf /tmp/mscope-exp /tmp/mscope-chaos

@@ -14,7 +14,7 @@ import (
 
 // ingestDir pushes a log directory through the pipeline into db, using a
 // custom declaration file when given.
-func ingestDir(db *milliscope.DB, logs, work, planPath string) (milliscope.IngestReport, error) {
+func ingestDir(db *milliscope.DB, logs, work, planPath string, opts milliscope.IngestOptions) (milliscope.IngestReport, error) {
 	plan := transform.DefaultPlan()
 	if planPath != "" {
 		var err error
@@ -23,7 +23,7 @@ func ingestDir(db *milliscope.DB, logs, work, planPath string) (milliscope.Inges
 			return milliscope.IngestReport{}, err
 		}
 	}
-	return transform.IngestDir(db, logs, work, plan)
+	return transform.IngestDirWithOptions(db, logs, work, plan, opts)
 }
 
 // buildFigures resolves a figure name against a loaded warehouse.

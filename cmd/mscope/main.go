@@ -40,6 +40,8 @@ func run(args []string) error {
 		return cmdRun(args[1:])
 	case "ingest":
 		return cmdIngest(args[1:])
+	case "chaos":
+		return cmdChaos(args[1:])
 	case "plan":
 		return cmdPlan(args[1:])
 	case "tables":
@@ -68,6 +70,7 @@ func usage() {
 
 commands:
   run        run a monitored trial (writes monitor logs + network trace)
+  chaos      copy a log directory injecting deterministic faults
   ingest     transform a log directory and load it into a warehouse file
   plan       write the default Parsing Declaration as editable JSON
   tables     list warehouse tables
@@ -146,6 +149,42 @@ func cmdRun(args []string) error {
 	return nil
 }
 
+func cmdChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	logs := fs.String("logs", "", "clean log directory (required)")
+	out := fs.String("out", "", "corrupted output directory (required)")
+	seed := fs.Int64("seed", 1, "corruption seed (same seed + input ⇒ identical output)")
+	rate := fs.Float64("rate", 0.005, "per-line fault probability on event logs")
+	kinds := fs.String("kinds", "", "comma-separated fault kinds (default: garbage,torn,duplicate,truncate)")
+	skewMax := fs.Duration("skew-max", 0, "clock-skew bound for the skew kind (default 2ms)")
+	gap := fs.Float64("gap", 0, "resource-sample loss fraction for the gap kind (default 8%)")
+	deleteTiers := fs.String("delete-tiers", "", "comma-separated tiers whose event logs the delete-tier kind removes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logs == "" || *out == "" {
+		return fmt.Errorf("chaos: --logs and --out are required")
+	}
+	ks, err := milliscope.ParseFaultKinds(*kinds)
+	if err != nil {
+		return err
+	}
+	cfg := milliscope.FaultConfig{
+		Seed: *seed, Rate: *rate, Kinds: ks,
+		SkewMax: *skewMax, GapFraction: *gap,
+	}
+	if *deleteTiers != "" {
+		cfg.DeleteTiers = strings.Split(*deleteTiers, ",")
+	}
+	rep, err := milliscope.CorruptLogs(*logs, *out, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Summary())
+	fmt.Printf("corrupted copy in %s — ingest it with --mode quarantine\n", *out)
+	return nil
+}
+
 func cmdPlan(args []string) error {
 	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
 	out := fs.String("out", "", "output JSON path (required)")
@@ -169,25 +208,43 @@ func cmdIngest(args []string) error {
 	work := fs.String("work", "", "work directory for XML/CSV stages (required)")
 	dbPath := fs.String("db", "", "output warehouse file (required)")
 	planPath := fs.String("plan", "", "custom Parsing Declaration JSON (default: built-in)")
+	mode := fs.String("mode", "fail-fast", "malformed-input policy: fail-fast | quarantine")
+	budget := fs.Float64("budget", 0, "quarantine error budget (corrupt-line ratio per file; 0 = default 5%)")
+	qdir := fs.String("quarantine", "", "quarantine sink directory (default: WORK/quarantine)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *logs == "" || *work == "" || *dbPath == "" {
 		return fmt.Errorf("ingest: --logs, --work and --db are required")
 	}
+	policy, err := milliscope.ParseIngestPolicy(*mode)
+	if err != nil {
+		return err
+	}
+	opts := milliscope.IngestOptions{Policy: policy, ErrorBudget: *budget, QuarantineDir: *qdir}
 	db := milliscope.OpenDB()
-	rep, err := ingestDir(db, *logs, *work, *planPath)
+	rep, err := ingestDir(db, *logs, *work, *planPath, opts)
 	if err != nil {
 		return err
 	}
 	for _, f := range rep.Files {
-		fmt.Printf("  %-28s → %-22s %8d entries (%s)\n",
+		line := fmt.Sprintf("  %-28s → %-22s %8d entries (%s)",
 			filepath.Base(f.Input), f.Table, f.Entries, f.Parser)
+		if f.Quarantined > 0 {
+			line += fmt.Sprintf("  [%d quarantined → %s]", f.Quarantined, f.QuarantinePath)
+		}
+		fmt.Println(line)
 	}
 	for _, s := range rep.Skipped {
 		fmt.Printf("  %-28s skipped (no declaration)\n", s)
 	}
+	for _, f := range rep.Failed {
+		fmt.Printf("  %-28s REJECTED: %v\n", filepath.Base(f.Input), f.Err)
+	}
 	fmt.Printf("loaded %d rows into %d tables\n", rep.TotalRows(), len(rep.Loads))
+	if n := rep.TotalQuarantined(); n > 0 || len(rep.Failed) > 0 {
+		fmt.Printf("degraded ingest: %d regions quarantined, %d files rejected\n", n, len(rep.Failed))
+	}
 	if consistency, err := milliscope.ValidateWarehouse(db); err == nil {
 		fmt.Println(consistency.Summary())
 	}
@@ -312,6 +369,10 @@ func cmdDiagnose(args []string) error {
 	}
 	fmt.Printf("requests=%d avgRT=%.2fms maxRT=%.2fms peak/avg=%.1fx\n",
 		diag.PIT.Requests, diag.PIT.AvgUS/1000, diag.PIT.MaxUS/1000, diag.PIT.PeakFactor())
+	if diag.Degraded() {
+		fmt.Printf("DEGRADED: missing evidence sources: %s\n",
+			strings.Join(diag.MissingSources, ", "))
+	}
 	if len(diag.Windows) == 0 {
 		fmt.Println("no very-long-response-time windows detected")
 		return nil
@@ -348,9 +409,14 @@ func cmdTrace(args []string) error {
 	if err != nil {
 		return err
 	}
-	traces, err := milliscope.BuildTraces(db)
+	traces, cov, err := milliscope.BuildTracesPartial(db)
 	if err != nil {
 		return err
+	}
+	if cov.Degraded() {
+		if err := milliscope.RenderTraceCoverage(os.Stdout, cov); err != nil {
+			return err
+		}
 	}
 	if *breakdown {
 		prof := milliscope.AggregateBreakdown(traces)

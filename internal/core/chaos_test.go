@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/faults"
+	"github.com/gt-elba/milliscope/internal/mscopedb"
+	"github.com/gt-elba/milliscope/internal/tracegraph"
+	"github.com/gt-elba/milliscope/internal/transform"
+)
+
+// quarantineIngest pushes a (possibly corrupted) log directory into a
+// fresh warehouse under the Quarantine policy.
+func quarantineIngest(t *testing.T, logDir string, budget float64) (*mscopedb.DB, transform.Report) {
+	t.Helper()
+	db := mscopedb.Open()
+	rep, err := transform.IngestDirWithOptions(db, logDir, t.TempDir(),
+		transform.DefaultPlan(), transform.Options{
+			Policy: transform.Quarantine, ErrorBudget: budget})
+	if err != nil {
+		t.Fatalf("quarantine ingest: %v", err)
+	}
+	return db, rep
+}
+
+// topVerdict returns the first VLRT window's concluded cause.
+func topVerdict(t *testing.T, db *mscopedb.DB) (CauseKind, string) {
+	t.Helper()
+	diag, err := Diagnose(db, 50*time.Millisecond)
+	if err != nil {
+		t.Fatalf("diagnose: %v", err)
+	}
+	if len(diag.Windows) == 0 {
+		t.Fatal("no VLRT windows diagnosed")
+	}
+	return diag.Windows[0].Kind, diag.Windows[0].Node
+}
+
+// TestChaosSoakDiagnosisSurvivesCorruption is the end-to-end degraded-mode
+// contract: run the Section V-A disk-IO scenario once, corrupt its log
+// directory at increasing fault rates, and at every rate up to the
+// documented 1% threshold the quarantine pipeline must reach the same
+// bottleneck verdict as the clean run. Skipped in -short mode.
+func TestChaosSoakDiagnosisSurvivesCorruption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	cfg := ScenarioDBIO(t.TempDir())
+	cfg.Name = "chaos-soak"
+	if _, err := RunExperiment(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean baseline: the redo-log flush diagnoses as disk-io at mysql.
+	cleanDB, cleanRep := quarantineIngest(t, cfg.LogDir, 0)
+	if cleanRep.TotalQuarantined() != 0 || len(cleanRep.Failed) != 0 {
+		t.Fatalf("clean logs quarantined something: %+v", cleanRep)
+	}
+	cleanKind, cleanNode := topVerdict(t, cleanDB)
+	if cleanKind != CauseDiskIO || cleanNode != "mysql" {
+		t.Fatalf("clean verdict %s@%s, want disk-io@mysql", cleanKind, cleanNode)
+	}
+
+	// Degraded runs: the documented threshold is a 1% per-line fault rate
+	// (garbage + torn + duplicate + tail truncation) under a 25% per-file
+	// error budget. The budget is ~25× the line rate because multi-line
+	// formats amplify damage: one fault inside a five-line MySQL record
+	// quarantines the buffered partial record plus every orphaned line
+	// until the next record boundary, so the damaged-region ratio runs up
+	// to ~5× the line fault rate on that file.
+	for _, rate := range []float64{0.002, 0.005, 0.01} {
+		corrupted := t.TempDir()
+		frep, err := faults.Corrupt(cfg.LogDir, corrupted, faults.Config{
+			Seed: 1234, Rate: rate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		injected := 0
+		for _, k := range faults.LineKinds() {
+			injected += frep.Total(k)
+		}
+		if injected == 0 {
+			t.Fatalf("rate %v injected nothing", rate)
+		}
+		db, rep := quarantineIngest(t, corrupted, 0.25)
+		if rep.TotalQuarantined() == 0 {
+			t.Errorf("rate %v: corruption injected but nothing quarantined", rate)
+		}
+		if len(rep.Failed) != 0 {
+			t.Errorf("rate %v: files rejected under the documented threshold: %+v", rate, rep.Failed)
+		}
+		kind, node := topVerdict(t, db)
+		if kind != cleanKind || node != cleanNode {
+			t.Errorf("rate %v: degraded verdict %s@%s diverged from clean %s@%s",
+				rate, kind, node, cleanKind, cleanNode)
+		}
+	}
+}
+
+// TestChaosDeleteTierPartialTraces: losing an entire mid-tier log must
+// yield partial traces with a coverage metric and a degraded (not failed)
+// diagnosis — the missing-tier acceptance criterion. Skipped in -short.
+func TestChaosDeleteTierPartialTraces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos delete-tier test skipped in -short mode")
+	}
+	cfg := ScenarioDBIO(t.TempDir())
+	cfg.Name = "chaos-deltier"
+	if _, err := RunExperiment(cfg); err != nil {
+		t.Fatal(err)
+	}
+	corrupted := t.TempDir()
+	if _, err := faults.Corrupt(cfg.LogDir, corrupted, faults.Config{
+		Seed: 7, Kinds: []faults.Kind{faults.KindDeleteTier},
+		DeleteTiers: []string{"cjdbc"}}); err != nil {
+		t.Fatal(err)
+	}
+	db, _ := quarantineIngest(t, corrupted, 0)
+
+	tables := make([]string, len(Tiers))
+	for i, tier := range Tiers {
+		tables[i] = tier + "_event"
+	}
+	traces, cov, err := tracegraph.BuildPartial(db, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cov.Degraded() || cov.Partial == 0 {
+		t.Fatalf("deleted tier produced no partial traces: %+v", cov)
+	}
+	if cov.Total != len(traces) || cov.Complete+cov.Partial != cov.Total {
+		t.Fatalf("coverage counts inconsistent: %+v", cov)
+	}
+	sawIncomplete := false
+	for _, tr := range traces {
+		if tr.Complete() {
+			continue
+		}
+		sawIncomplete = true
+		if len(tr.MissingTiers) == 0 || tr.MissingTiers[0] != "cjdbc" {
+			t.Fatalf("trace %s missing tiers %v, want cjdbc", tr.ReqID, tr.MissingTiers)
+		}
+		if c := tr.Coverage(); c <= 0 || c >= 1 {
+			t.Fatalf("trace %s coverage %v, want in (0,1)", tr.ReqID, c)
+		}
+	}
+	if !sawIncomplete {
+		t.Fatal("no incomplete traces despite a deleted tier")
+	}
+
+	// Diagnosis degrades instead of failing: the cjdbc queue sensor is
+	// recorded missing, and the disk-io verdict still lands on mysql.
+	diag, err := Diagnose(db, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diag.Degraded() {
+		t.Fatal("diagnosis not marked degraded with cjdbc_event missing")
+	}
+	found := false
+	for _, s := range diag.MissingSources {
+		if s == "cjdbc_event" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing sources %v lack cjdbc_event", diag.MissingSources)
+	}
+	if len(diag.Windows) == 0 || diag.Windows[0].Kind != CauseDiskIO || diag.Windows[0].Node != "mysql" {
+		t.Fatalf("degraded diagnosis diverged: %+v", diag.Windows)
+	}
+}

@@ -61,12 +61,26 @@ type WindowDiagnosis struct {
 type Diagnosis struct {
 	PIT     *metrics.PITResult
 	Windows []WindowDiagnosis
+	// MissingSources lists warehouse tables the diagnosis wanted but found
+	// absent (a tier's log lost or rejected by the ingest error budget).
+	// Their sensors are simply excluded; a nonzero list means the verdict
+	// rests on partial evidence.
+	MissingSources []string
 }
+
+// Degraded reports whether any evidence source was unavailable.
+func (d *Diagnosis) Degraded() bool { return len(d.MissingSources) > 0 }
 
 // Diagnose runs the paper's workflow over an ingested trial: find VLRT
 // windows in the Point-in-Time series, classify queue pushback, rank
 // resource candidates by correlation with the front-tier queue, and name
 // the root cause per window.
+//
+// The front tier's event table is required — without it there is no
+// response-time series to diagnose. Every other source degrades: a tier
+// with no event table contributes no queue, a tier with no collectl table
+// contributes no resource candidates, and each absence is recorded in
+// Diagnosis.MissingSources instead of failing the run.
 func Diagnose(db *mscopedb.DB, window time.Duration) (*Diagnosis, error) {
 	tbl, err := db.Table("apache_event")
 	if err != nil {
@@ -84,6 +98,10 @@ func Diagnose(db *mscopedb.DB, window time.Duration) (*Diagnosis, error) {
 
 	queues := make(map[string]*mscopedb.Series, len(Tiers))
 	for _, tier := range Tiers {
+		if !db.HasTable(tier + "_event") {
+			out.MissingSources = append(out.MissingSources, tier+"_event")
+			continue
+		}
 		q, err := queueSeriesForTier(db, tier, window)
 		if err != nil {
 			return nil, err
@@ -100,6 +118,10 @@ func Diagnose(db *mscopedb.DB, window time.Duration) (*Diagnosis, error) {
 	dirty := make(map[string]*mscopedb.Series, len(Tiers))
 	freq := make(map[string]*mscopedb.Series, len(Tiers))
 	for _, tier := range Tiers {
+		if !db.HasTable(tier + "_collectlcsv") {
+			out.MissingSources = append(out.MissingSources, tier+"_collectlcsv")
+			continue
+		}
 		disk, err := resourceSeriesForTier(db, tier, "dsk_util", window, mscopedb.AggMax)
 		if err != nil {
 			return nil, err
@@ -120,6 +142,11 @@ func Diagnose(db *mscopedb.DB, window time.Duration) (*Diagnosis, error) {
 		if f, err := resourceSeriesForTier(db, tier, "cpu_mhz", window, mscopedb.AggMin); err == nil {
 			freq[tier] = f
 		}
+	}
+	if len(candidates) == 0 {
+		// Degrade on partial loss, but with zero resource tables there is
+		// no resource plane to correlate against at all.
+		return nil, fmt.Errorf("core: no resource-monitor tables in the warehouse (missing %v): diagnosis needs at least one tier's resource plane", out.MissingSources)
 	}
 
 	pad := time.Second.Microseconds()

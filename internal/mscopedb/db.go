@@ -89,6 +89,15 @@ func (db *DB) Table(name string) (*Table, error) {
 	return t, nil
 }
 
+// HasTable reports whether the named table exists — the degraded-mode
+// pipeline probes for tables whose source logs may never have arrived.
+func (db *DB) HasTable(name string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.tables[name]
+	return ok
+}
+
 // TableNames lists every table, sorted.
 func (db *DB) TableNames() []string {
 	db.mu.RLock()

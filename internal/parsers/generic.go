@@ -23,10 +23,25 @@ func newScanner(in io.Reader) *bufio.Scanner {
 type tokenParser struct{}
 
 var _ Parser = tokenParser{}
+var _ DegradedParser = tokenParser{}
 
 func (tokenParser) Name() string { return "token" }
 
 func (tokenParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
+	return tokenParser{}.parse(in, instr, emit, nil)
+}
+
+// ParseDegraded diverts unmatched and semantically invalid lines to rec
+// instead of failing the file; every other line still emits a record.
+func (tokenParser) ParseDegraded(in io.Reader, instr Instructions, emit Emit, rec Recover) error {
+	if rec == nil {
+		return fmt.Errorf("parsers: token degraded mode requires a Recover sink")
+	}
+	return tokenParser{}.parse(in, instr, emit, rec)
+}
+
+// parse is the shared token loop; rec == nil selects fail-fast semantics.
+func (tokenParser) parse(in io.Reader, instr Instructions, emit Emit, rec Recover) error {
 	if instr.Pattern == "" {
 		return fmt.Errorf("parsers: token mode requires a pattern")
 	}
@@ -47,12 +62,26 @@ func (tokenParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
 			if instr.SkipUnmatched {
 				continue
 			}
-			return fmt.Errorf("parsers: line %d does not match token pattern: %q", lineNo, line)
+			err := fmt.Errorf("parsers: line %d does not match token pattern: %q", lineNo, line)
+			if rec == nil {
+				return err
+			}
+			if rerr := rec(Malformed{Line: lineNo, Text: line, Err: err}); rerr != nil {
+				return rerr
+			}
+			continue
 		}
 		var e mxml.Entry
 		groupsToEntry(&e, re, m)
 		if err := applyCommon(&e, instr); err != nil {
-			return fmt.Errorf("parsers: line %d: %w", lineNo, err)
+			err = fmt.Errorf("parsers: line %d: %w", lineNo, err)
+			if rec == nil {
+				return err
+			}
+			if rerr := rec(Malformed{Line: lineNo, Text: line, Err: err}); rerr != nil {
+				return rerr
+			}
+			continue
 		}
 		if err := emit(e); err != nil {
 			return err
@@ -69,10 +98,34 @@ func (tokenParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
 type linesParser struct{}
 
 var _ Parser = linesParser{}
+var _ DegradedParser = linesParser{}
 
 func (linesParser) Name() string { return "lines" }
 
 func (linesParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
+	return linesParser{}.parse(in, instr, emit, nil)
+}
+
+// ParseDegraded diverts malformed records to rec and resynchronizes at the
+// next line matching the first group rule (the record boundary), so one
+// torn or garbage line costs only its enclosing record.
+func (linesParser) ParseDegraded(in io.Reader, instr Instructions, emit Emit, rec Recover) error {
+	if rec == nil {
+		return fmt.Errorf("parsers: lines degraded mode requires a Recover sink")
+	}
+	return linesParser{}.parse(in, instr, emit, rec)
+}
+
+// pendingLine is one consumed line of the record being assembled, kept so a
+// mid-record failure can divert the whole partial record.
+type pendingLine struct {
+	no   int
+	text string
+}
+
+// parse is the shared lines-mode loop; rec == nil selects fail-fast
+// semantics.
+func (linesParser) parse(in io.Reader, instr Instructions, emit Emit, rec Recover) error {
 	if len(instr.Group) == 0 {
 		return fmt.Errorf("parsers: lines mode requires group rules")
 	}
@@ -87,32 +140,70 @@ func (linesParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
 	sc := newScanner(in)
 	lineNo := 0
 	var e mxml.Entry
+	var pending []pendingLine
 	idx := 0
+	// divert hands the current partial record to rec and resets the state.
+	divert := func(cause error) error {
+		for _, p := range pending {
+			if rerr := rec(Malformed{Line: p.no, Text: p.text, Err: cause}); rerr != nil {
+				return rerr
+			}
+		}
+		pending = pending[:0]
+		e = mxml.Entry{}
+		idx = 0
+		return nil
+	}
 	for sc.Scan() {
 		lineNo++
 		line := sc.Text()
 		if lineNo <= instr.HeaderLines {
 			continue
 		}
+	retry:
 		if idx == 0 && strings.TrimSpace(line) == "" {
 			continue // blank separators between groups
 		}
 		re := compiled[idx]
 		m := re.FindStringSubmatch(line)
 		if m == nil {
-			return fmt.Errorf("parsers: line %d does not match group rule %d (%q): %q",
+			err := fmt.Errorf("parsers: line %d does not match group rule %d (%q): %q",
 				lineNo, idx, instr.Group[idx].Pattern, line)
+			if rec == nil {
+				return err
+			}
+			if idx != 0 {
+				// Abandon the partial record, then re-test this line as a
+				// possible start of the next record.
+				if rerr := divert(err); rerr != nil {
+					return rerr
+				}
+				goto retry
+			}
+			if rerr := rec(Malformed{Line: lineNo, Text: line, Err: err}); rerr != nil {
+				return rerr
+			}
+			continue
 		}
 		groupsToEntry(&e, re, m)
+		pending = append(pending, pendingLine{no: lineNo, text: line})
 		idx++
 		if idx == len(compiled) {
 			if err := applyCommon(&e, instr); err != nil {
-				return fmt.Errorf("parsers: record ending line %d: %w", lineNo, err)
+				err = fmt.Errorf("parsers: record ending line %d: %w", lineNo, err)
+				if rec == nil {
+					return err
+				}
+				if rerr := divert(err); rerr != nil {
+					return rerr
+				}
+				continue
 			}
 			if err := emit(e); err != nil {
-				return err
+				return fmt.Errorf("parsers: record ending line %d: %w", lineNo, err)
 			}
 			e = mxml.Entry{}
+			pending = pending[:0]
 			idx = 0
 		}
 	}
@@ -120,8 +211,14 @@ func (linesParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
 		return fmt.Errorf("parsers: scan: %w", err)
 	}
 	if idx != 0 {
-		return fmt.Errorf("parsers: truncated record at end of file (got %d of %d lines)",
-			idx, len(compiled))
+		err := fmt.Errorf("parsers: truncated record at end of file (started line %d): got %d of %d lines",
+			pending[0].no, idx, len(compiled))
+		if rec == nil {
+			return err
+		}
+		if rerr := divert(err); rerr != nil {
+			return rerr
+		}
 	}
 	return nil
 }

@@ -38,6 +38,34 @@ type Parser interface {
 	Parse(in io.Reader, instr Instructions, emit Emit) error
 }
 
+// Malformed describes one input region diverted in degraded mode: a line
+// (or buffered partial record line) that could not be parsed, or a
+// structurally valid record whose semantics failed.
+type Malformed struct {
+	// Line is the 1-based line number of the diverted text; 0 when the
+	// failure is semantic and no single line is at fault.
+	Line int
+	// Text is the raw diverted line; empty for semantic failures.
+	Text string
+	// Err explains why the region was diverted.
+	Err error
+}
+
+// Recover consumes malformed regions during a degraded parse. Returning a
+// non-nil error aborts the parse with that error.
+type Recover func(Malformed) error
+
+// DegradedParser is implemented by parsers that can quarantine malformed
+// input and resynchronize at the next record boundary instead of failing
+// the whole file. The transformer's Quarantine ingest policy requires it.
+type DegradedParser interface {
+	Parser
+	// ParseDegraded emits every parseable record and hands each malformed
+	// region to rec. It fails only on I/O-level errors (scanner overflow,
+	// emit failures) or when rec asks it to abort.
+	ParseDegraded(in io.Reader, instr Instructions, emit Emit, rec Recover) error
+}
+
 // Instructions is the declarative specification recorded by the Parsing
 // Declaration stage: how a parser should inject semantics into its input.
 type Instructions struct {

@@ -42,8 +42,13 @@ func RenderTrace(w io.Writer, tr *tracegraph.Trace, width int) error {
 		}
 		return p
 	}
-	if _, err := fmt.Fprintf(w, "trace %s  (total %v)\n", tr.ReqID,
-		(time.Duration(hi-lo) * time.Microsecond).Round(time.Microsecond)); err != nil {
+	header := fmt.Sprintf("trace %s  (total %v)", tr.ReqID,
+		(time.Duration(hi-lo) * time.Microsecond).Round(time.Microsecond))
+	if !tr.Complete() {
+		header += fmt.Sprintf("  INCOMPLETE: missing %s (coverage %.0f%%)",
+			strings.Join(tr.MissingTiers, ", "), tr.Coverage()*100)
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
 		return err
 	}
 	for _, sp := range tr.Spans {
@@ -72,5 +77,19 @@ func RenderTrace(w io.Writer, tr *tracegraph.Trace, width int) error {
 	_, err := fmt.Fprintf(w, "%-10s  %-*s%s\n", "", width/2,
 		fmt.Sprintf("0"), fmt.Sprintf("%*v", width/2,
 			time.Duration(hi-lo)*time.Microsecond))
+	return err
+}
+
+// RenderCoverage summarizes a degraded-mode trace construction: which
+// event tables were absent and how much of the trace set is complete.
+func RenderCoverage(w io.Writer, rep *tracegraph.BuildReport) error {
+	if !rep.Degraded() {
+		_, err := fmt.Fprintf(w, "trace coverage: %d/%d complete (all event tables present)\n",
+			rep.Complete, rep.Total)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "trace coverage: %d/%d complete (%.1f%%), %d partial — missing tables: %s\n",
+		rep.Complete, rep.Total, rep.Coverage()*100, rep.Partial,
+		strings.Join(rep.MissingTables, ", "))
 	return err
 }

@@ -1,0 +1,119 @@
+package tracegraph
+
+import (
+	"fmt"
+
+	"github.com/gt-elba/milliscope/internal/mscopedb"
+)
+
+// BuildReport summarizes a degraded-mode trace construction: which event
+// tables were absent from the warehouse and how many traces came out
+// complete versus partial.
+type BuildReport struct {
+	// MissingTables lists requested event tables absent from the
+	// warehouse, in tier-depth order.
+	MissingTables []string
+	// Total is the number of traces constructed.
+	Total int
+	// Complete counts traces touching no missing tier.
+	Complete int
+	// Partial counts traces flagged with missing tiers.
+	Partial int
+}
+
+// Degraded reports whether any requested table was absent.
+func (r *BuildReport) Degraded() bool { return len(r.MissingTables) > 0 }
+
+// Coverage is the fraction of constructed traces that are complete.
+func (r *BuildReport) Coverage() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Complete) / float64(r.Total)
+}
+
+// BuildPartial joins the given event tables by request ID like Build, but
+// tolerates tables missing from the warehouse (a tier whose log never
+// arrived or was rejected by the ingest error budget): traces are still
+// constructed from the surviving tiers and flagged with the tiers they
+// provably lack, instead of the whole reconstruction failing. At least one
+// requested table must exist.
+func BuildPartial(db *mscopedb.DB, eventTables []string) (map[string]*Trace, *BuildReport, error) {
+	rep := &BuildReport{}
+	var present []string
+	presentSet := make(map[string]bool)
+	for _, name := range eventTables {
+		if db.HasTable(name) {
+			present = append(present, name)
+			presentSet[tierOfTable(name)] = true
+		} else {
+			rep.MissingTables = append(rep.MissingTables, name)
+		}
+	}
+	if len(present) == 0 {
+		return nil, nil, fmt.Errorf("tracegraph: none of the event tables %v exist", eventTables)
+	}
+	traces, err := Build(db, present)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Full tier order, missing tiers included, defines depth for the
+	// incompleteness rules below.
+	fullOrder := make([]string, len(eventTables))
+	missingTier := make(map[string]bool, len(rep.MissingTables))
+	for i, name := range eventTables {
+		fullOrder[i] = tierOfTable(name)
+		if !presentSet[fullOrder[i]] {
+			missingTier[fullOrder[i]] = true
+		}
+	}
+	for _, tr := range traces {
+		markMissingTiers(tr, fullOrder, missingTier)
+		rep.Total++
+		if tr.Complete() {
+			rep.Complete++
+		} else {
+			rep.Partial++
+		}
+	}
+	return traces, rep, nil
+}
+
+// markMissingTiers flags the tiers a trace provably lacks. Two rules,
+// both conservative so that requests which legitimately never reach the
+// deep tiers (zero-query interactions) stay complete:
+//
+//  1. a missing tier shallower than the trace's deepest observed tier must
+//     have been on the path — requests only reach tier k through tiers
+//     1..k-1;
+//  2. if the deepest observed span made a downstream call (DS set) and the
+//     next tier's table is missing, that callee's span is lost.
+func markMissingTiers(tr *Trace, fullOrder []string, missingTier map[string]bool) {
+	if len(missingTier) == 0 || len(tr.Spans) == 0 {
+		return
+	}
+	has := make(map[string]bool)
+	for _, s := range tr.Spans {
+		has[s.Tier] = true
+	}
+	deepest := -1
+	for i, tier := range fullOrder {
+		if has[tier] {
+			deepest = i
+		}
+	}
+	for i := 0; i < deepest; i++ {
+		if missingTier[fullOrder[i]] && !has[fullOrder[i]] {
+			tr.MissingTiers = append(tr.MissingTiers, fullOrder[i])
+		}
+	}
+	if deepest >= 0 && deepest+1 < len(fullOrder) && missingTier[fullOrder[deepest+1]] {
+		for _, s := range tr.Spans {
+			if s.Tier == fullOrder[deepest] && s.DS != 0 {
+				tr.MissingTiers = append(tr.MissingTiers, fullOrder[deepest+1])
+				break
+			}
+		}
+	}
+}

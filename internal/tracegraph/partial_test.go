@@ -1,0 +1,159 @@
+package tracegraph
+
+import (
+	"testing"
+
+	"github.com/gt-elba/milliscope/internal/mscopedb"
+)
+
+// buildThreeTierDB assembles apache → tomcat → mysql with two requests:
+// req-1 reaches mysql (tomcat DS set), req-2 stops at tomcat (leaf).
+func buildThreeTierDB(t *testing.T, withMySQL bool) *mscopedb.DB {
+	t.Helper()
+	db := mscopedb.Open()
+	cols := []mscopedb.Column{
+		{Name: "reqid", Type: mscopedb.TString},
+		{Name: "ua", Type: mscopedb.TInt},
+		{Name: "ud", Type: mscopedb.TInt},
+		{Name: "ds", Type: mscopedb.TInt},
+		{Name: "dr", Type: mscopedb.TInt},
+	}
+	ap, err := db.Create("apache_event", cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := db.Create("tomcat_event", cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(ap.Append("req-1", int64(100), int64(900), int64(150), int64(850)))
+	must(tc.Append("req-1", int64(200), int64(800), int64(300), int64(700)))
+	must(ap.Append("req-2", int64(1000), int64(1900), int64(1100), int64(1800)))
+	must(tc.Append("req-2", int64(1200), int64(1700), int64(0), int64(0)))
+	if withMySQL {
+		my, err := db.Create("mysql_event", cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		must(my.Append("req-1", int64(350), int64(650), int64(0), int64(0)))
+	}
+	return db
+}
+
+var threeTiers = []string{"apache_event", "tomcat_event", "mysql_event"}
+
+// TestBuildPartialAllPresent: with every table present the partial build
+// matches Build and everything is complete.
+func TestBuildPartialAllPresent(t *testing.T) {
+	db := buildThreeTierDB(t, true)
+	traces, rep, err := BuildPartial(db, threeTiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded() || len(rep.MissingTables) != 0 {
+		t.Fatalf("report claims degradation: %+v", rep)
+	}
+	if rep.Total != 2 || rep.Complete != 2 || rep.Partial != 0 {
+		t.Fatalf("counts: %+v", rep)
+	}
+	for id, tr := range traces {
+		if !tr.Complete() || tr.Coverage() != 1.0 {
+			t.Errorf("%s incomplete with all tables present: %+v", id, tr)
+		}
+	}
+}
+
+// TestBuildPartialDeepTierMissing: mysql's log never arrived. req-1
+// (tomcat DS set) is provably missing mysql; req-2 (leaf tomcat) stays
+// complete — zero-query requests never reached the database.
+func TestBuildPartialDeepTierMissing(t *testing.T) {
+	db := buildThreeTierDB(t, false)
+	traces, rep, err := BuildPartial(db, threeTiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded() || len(rep.MissingTables) != 1 || rep.MissingTables[0] != "mysql_event" {
+		t.Fatalf("missing tables: %+v", rep)
+	}
+	r1 := traces["req-1"]
+	if r1.Complete() {
+		t.Error("req-1 called downstream into missing mysql but is marked complete")
+	}
+	if len(r1.MissingTiers) != 1 || r1.MissingTiers[0] != "mysql" {
+		t.Errorf("req-1 missing tiers: %v", r1.MissingTiers)
+	}
+	if got := r1.Coverage(); got <= 0.66 || got >= 0.67 {
+		t.Errorf("req-1 coverage = %v, want 2/3", got)
+	}
+	r2 := traces["req-2"]
+	if !r2.Complete() || r2.Coverage() != 1.0 {
+		t.Errorf("leaf req-2 wrongly marked incomplete: %+v", r2)
+	}
+	if rep.Complete != 1 || rep.Partial != 1 {
+		t.Errorf("counts: %+v", rep)
+	}
+}
+
+// TestBuildPartialMiddleTierMissing: tomcat's log is gone. Both requests
+// have spans deeper than tomcat (req-1 via mysql) or bracket it, so any
+// trace whose deepest span lies below tomcat is provably incomplete.
+func TestBuildPartialMiddleTierMissing(t *testing.T) {
+	db := buildThreeTierDB(t, true)
+	if err := db.Drop("tomcat_event"); err != nil {
+		t.Fatal(err)
+	}
+	traces, rep, err := BuildPartial(db, threeTiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := traces["req-1"]
+	if r1.Complete() {
+		t.Error("req-1 reached mysql through tomcat but is marked complete")
+	}
+	if len(r1.MissingTiers) != 1 || r1.MissingTiers[0] != "tomcat" {
+		t.Errorf("req-1 missing tiers: %v", r1.MissingTiers)
+	}
+	// req-2 never shows below apache; with tomcat unobservable and
+	// apache's DS set we cannot prove more than the direct callee loss.
+	r2 := traces["req-2"]
+	if r2.Complete() {
+		t.Error("req-2's apache span has DS set into missing tomcat")
+	}
+	if rep.Partial != 2 {
+		t.Errorf("counts: %+v", rep)
+	}
+}
+
+// TestBuildPartialNoTables: nothing to build from is an error, not an
+// empty success.
+func TestBuildPartialNoTables(t *testing.T) {
+	db := mscopedb.Open()
+	if _, _, err := BuildPartial(db, threeTiers); err == nil {
+		t.Fatal("partial build succeeded with zero tables")
+	}
+}
+
+// TestBuildStillStrict: the strict Build keeps failing on missing tables.
+func TestBuildStillStrict(t *testing.T) {
+	db := buildThreeTierDB(t, false)
+	if _, err := Build(db, threeTiers); err == nil {
+		t.Fatal("strict Build tolerated a missing table")
+	}
+}
+
+// TestBuildReportCoverage exercises the aggregate coverage metric.
+func TestBuildReportCoverage(t *testing.T) {
+	rep := &BuildReport{Total: 4, Complete: 3, Partial: 1}
+	if rep.Coverage() != 0.75 {
+		t.Errorf("coverage %v", rep.Coverage())
+	}
+	empty := &BuildReport{}
+	if empty.Coverage() != 0 {
+		t.Errorf("empty coverage %v", empty.Coverage())
+	}
+}

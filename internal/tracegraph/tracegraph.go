@@ -48,6 +48,27 @@ type Trace struct {
 	// Spans are ordered by tier depth (the order Build received the event
 	// tables) and then by query sequence.
 	Spans []Span
+	// MissingTiers lists tiers this trace provably visited but whose event
+	// table was absent during a BuildPartial reconstruction, in depth
+	// order. Empty for Build and for complete traces.
+	MissingTiers []string
+}
+
+// Complete reports whether the trace covers every tier it visited.
+func (t *Trace) Complete() bool { return len(t.MissingTiers) == 0 }
+
+// Coverage is the fraction of the trace's visited tiers that were
+// observed: observed / (observed + provably missing). 1.0 for complete
+// traces.
+func (t *Trace) Coverage() float64 {
+	seen := make(map[string]bool)
+	for _, s := range t.Spans {
+		seen[s.Tier] = true
+	}
+	if len(seen) == 0 {
+		return 0
+	}
+	return float64(len(seen)) / float64(len(seen)+len(t.MissingTiers))
 }
 
 // ResponseTime returns the front-tier residence (the client-visible

@@ -1,0 +1,287 @@
+package transform
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/gt-elba/milliscope/internal/importer"
+	"github.com/gt-elba/milliscope/internal/mscopedb"
+	"github.com/gt-elba/milliscope/internal/mxml"
+	"github.com/gt-elba/milliscope/internal/parsers"
+	"github.com/gt-elba/milliscope/internal/xmlcsv"
+)
+
+// Policy selects how the ingest pipeline treats malformed input.
+type Policy int
+
+const (
+	// FailFast aborts the whole ingest on the first malformed line — the
+	// historical behavior and still the default: on a healthy testbed any
+	// parse failure is a declaration bug worth stopping for.
+	FailFast Policy = iota
+	// Quarantine diverts malformed lines and records to a per-file sink
+	// and keeps parsing, resynchronizing multi-line parsers at the next
+	// record boundary. A file is rejected (not the ingest) when its
+	// corrupt-line ratio exceeds the error budget or nothing parses.
+	Quarantine
+)
+
+// String names the policy for CLI flags and reports.
+func (p Policy) String() string {
+	switch p {
+	case FailFast:
+		return "fail-fast"
+	case Quarantine:
+		return "quarantine"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy converts a CLI flag value to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "fail-fast", "failfast":
+		return FailFast, nil
+	case "quarantine":
+		return Quarantine, nil
+	default:
+		return FailFast, fmt.Errorf("transform: unknown ingest policy %q (want fail-fast or quarantine)", s)
+	}
+}
+
+// DefaultErrorBudget is the per-file corrupt-line ratio above which a
+// quarantine-mode ingest rejects the file: past 5% the surviving records
+// no longer representatively sample the tier's traffic.
+const DefaultErrorBudget = 0.05
+
+// Options parameterize a policy-aware ingest.
+type Options struct {
+	// Policy selects FailFast (default) or Quarantine.
+	Policy Policy
+	// ErrorBudget is the per-file quarantined/(parsed+quarantined) ratio
+	// above which the file is rejected; zero means DefaultErrorBudget.
+	ErrorBudget float64
+	// QuarantineDir receives the per-file quarantine sinks; empty means
+	// "<workDir>/quarantine".
+	QuarantineDir string
+}
+
+// ErrFileRejected marks a per-file quarantine-mode rejection: the file's
+// damage exceeded the error budget (or nothing parsed at all). IngestDir
+// records these in Report.Failed and continues with the remaining files.
+var ErrFileRejected = errors.New("file rejected")
+
+// FileFailure records one rejected file in a quarantine-mode ingest.
+type FileFailure struct {
+	// Input is the source file path.
+	Input string
+	// Err wraps ErrFileRejected with the rejection cause.
+	Err error
+}
+
+// budget returns the effective error budget.
+func (o Options) budget() float64 {
+	if o.ErrorBudget == 0 {
+		return DefaultErrorBudget
+	}
+	return o.ErrorBudget
+}
+
+// quarantineDir returns the effective sink directory.
+func (o Options) quarantineDir(workDir string) string {
+	if o.QuarantineDir != "" {
+		return o.QuarantineDir
+	}
+	return filepath.Join(workDir, "quarantine")
+}
+
+// quarantineSink lazily creates "<dir>/<base>.quarantine" and records each
+// diverted region as a located comment line followed by the raw text.
+type quarantineSink struct {
+	dir  string
+	base string
+	f    *os.File
+	w    *bufio.Writer
+	n    int
+}
+
+func (q *quarantineSink) record(m parsers.Malformed) error {
+	if q.f == nil {
+		if err := os.MkdirAll(q.dir, 0o755); err != nil {
+			return fmt.Errorf("transform: create quarantine dir: %w", err)
+		}
+		f, err := os.Create(filepath.Join(q.dir, q.base+".quarantine"))
+		if err != nil {
+			return fmt.Errorf("transform: create quarantine sink: %w", err)
+		}
+		q.f = f
+		q.w = bufio.NewWriter(f)
+	}
+	q.n++
+	if m.Line > 0 {
+		fmt.Fprintf(q.w, "# %s:%d: %v\n%s\n", q.base, m.Line, m.Err, m.Text)
+	} else {
+		fmt.Fprintf(q.w, "# %s: %v\n", q.base, m.Err)
+	}
+	return nil
+}
+
+// path returns the sink file path, or "" when nothing was quarantined.
+func (q *quarantineSink) path() string {
+	if q.f == nil {
+		return ""
+	}
+	return filepath.Join(q.dir, q.base+".quarantine")
+}
+
+func (q *quarantineSink) close() error {
+	if q.f == nil {
+		return nil
+	}
+	if err := q.w.Flush(); err != nil {
+		return err
+	}
+	return q.f.Close()
+}
+
+// transformFileDegraded runs stage 2 under the Quarantine policy: parse in
+// degraded mode, divert malformed regions to the sink, and reject the file
+// (wrapping ErrFileRejected) when the error budget is breached or no
+// records survive.
+func transformFileDegraded(path string, b Binding, workDir string, opts Options) (FileResult, error) {
+	var out FileResult
+	p, err := parsers.Get(b.Parser)
+	if err != nil {
+		return out, err
+	}
+	if err := os.MkdirAll(workDir, 0o755); err != nil {
+		return out, fmt.Errorf("transform: create work dir: %w", err)
+	}
+	host := hostOf(path, b)
+	table := host + "_" + b.TableSuffix
+	base := filepath.Base(path)
+
+	dp, degradable := p.(parsers.DegradedParser)
+	if !degradable {
+		// Customized parsers without a degraded mode keep strict semantics;
+		// under Quarantine their failure costs the file, not the ingest.
+		fr, err := TransformFile(path, b, workDir)
+		if err != nil {
+			return out, fmt.Errorf("transform: %s: %w: parser %q has no degraded mode: %v",
+				path, ErrFileRejected, b.Parser, err)
+		}
+		return fr, nil
+	}
+
+	in, err := os.Open(path)
+	if err != nil {
+		return out, fmt.Errorf("transform: open %s: %w", path, err)
+	}
+	defer in.Close()
+
+	mxmlPath := filepath.Join(workDir, table+".mxml")
+	outF, err := os.Create(mxmlPath)
+	if err != nil {
+		return out, fmt.Errorf("transform: create %s: %w", mxmlPath, err)
+	}
+	defer outF.Close()
+	w := mxml.NewWriter(outF)
+	if err := w.Open(mxml.Meta{Source: b.Source, Host: host, Table: table}); err != nil {
+		return out, err
+	}
+	sink := &quarantineSink{dir: opts.quarantineDir(workDir), base: base}
+	parseErr := dp.ParseDegraded(in, b.Instructions, w.WriteEntry, sink.record)
+	if cerr := sink.close(); cerr != nil && parseErr == nil {
+		parseErr = cerr
+	}
+	if parseErr != nil {
+		return out, fmt.Errorf("transform: %s: %w", path, parseErr)
+	}
+	if err := w.Close(); err != nil {
+		return out, err
+	}
+	out = FileResult{Input: path, Parser: b.Parser, Table: table,
+		MXMLPath: mxmlPath, Entries: w.Entries(),
+		Quarantined: sink.n, QuarantinePath: sink.path()}
+
+	if out.Entries == 0 {
+		return out, fmt.Errorf("transform: %s: %w: no records survived (%d quarantined)",
+			path, ErrFileRejected, out.Quarantined)
+	}
+	total := out.Entries + out.Quarantined
+	if ratio := float64(out.Quarantined) / float64(total); ratio > opts.budget() {
+		return out, fmt.Errorf("transform: %s: %w: corrupt-line ratio %.4f exceeds error budget %.4f (%d of %d regions quarantined)",
+			path, ErrFileRejected, ratio, opts.budget(), out.Quarantined, total)
+	}
+	return out, nil
+}
+
+// IngestDirWithOptions is the policy-aware ingest. Under FailFast it is
+// exactly IngestDir. Under Quarantine, per-file rejections land in
+// Report.Failed and the ingest continues; infrastructure errors (unreadable
+// directory, conversion or warehouse-load failures on accepted records)
+// remain fatal under both policies.
+func IngestDirWithOptions(db *mscopedb.DB, logDir, workDir string, plan *Plan, opts Options) (Report, error) {
+	var rep Report
+	entries, err := os.ReadDir(logDir)
+	if err != nil {
+		return rep, fmt.Errorf("transform: read log dir: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // deterministic ingest order
+	for _, name := range names {
+		full := filepath.Join(logDir, name)
+		b, ok := plan.Find(name)
+		if !ok {
+			rep.Skipped = append(rep.Skipped, name)
+			continue
+		}
+		var fr FileResult
+		if opts.Policy == Quarantine {
+			fr, err = transformFileDegraded(full, b, workDir, opts)
+			if err != nil {
+				if errors.Is(err, ErrFileRejected) {
+					rep.Failed = append(rep.Failed, FileFailure{Input: full, Err: err})
+					continue
+				}
+				return rep, err
+			}
+		} else {
+			fr, err = TransformFile(full, b, workDir)
+			if err != nil {
+				return rep, err
+			}
+		}
+		rep.Files = append(rep.Files, fr)
+		conv, err := xmlcsv.ConvertFile(fr.MXMLPath, workDir)
+		if err != nil {
+			return rep, err
+		}
+		loaded, err := importer.LoadFile(db, conv.CSVPath, conv.SchemaPath)
+		if err != nil {
+			return rep, err
+		}
+		rep.Loads = append(rep.Loads, loaded)
+	}
+	rep.sortDeterministic()
+	return rep, nil
+}
+
+// sortDeterministic orders every report slice by input name so callers and
+// tests can rely on stable output regardless of how the report was built.
+func (r *Report) sortDeterministic() {
+	sort.Slice(r.Files, func(i, j int) bool { return r.Files[i].Input < r.Files[j].Input })
+	sort.Slice(r.Loads, func(i, j int) bool { return r.Loads[i].Table < r.Loads[j].Table })
+	sort.Strings(r.Skipped)
+	sort.Slice(r.Failed, func(i, j int) bool { return r.Failed[i].Input < r.Failed[j].Input })
+}

@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 
 	"github.com/gt-elba/milliscope/internal/importer"
@@ -22,7 +21,6 @@ import (
 	"github.com/gt-elba/milliscope/internal/mxml"
 	"github.com/gt-elba/milliscope/internal/parsers"
 	"github.com/gt-elba/milliscope/internal/simtime"
-	"github.com/gt-elba/milliscope/internal/xmlcsv"
 )
 
 // Binding is one Parsing Declaration entry: files matching Glob are parsed
@@ -131,6 +129,12 @@ type FileResult struct {
 	Table    string
 	MXMLPath string
 	Entries  int
+	// Quarantined counts malformed regions diverted under the Quarantine
+	// policy; always zero under FailFast.
+	Quarantined int
+	// QuarantinePath is the sink file holding the diverted regions; empty
+	// when nothing was quarantined.
+	QuarantinePath string
 }
 
 // TransformFile runs stage 2 on one file: parse the raw log into an
@@ -173,11 +177,16 @@ func TransformFile(path string, b Binding, workDir string) (FileResult, error) {
 	return out, nil
 }
 
-// Report summarizes a full directory ingest.
+// Report summarizes a full directory ingest. All slices are sorted by
+// input name (Loads by table) so reports are deterministic.
 type Report struct {
 	Files   []FileResult
 	Loads   []importer.Loaded
 	Skipped []string
+	// Failed lists files rejected under the Quarantine policy (error
+	// budget breached or nothing parsed); always empty under FailFast,
+	// where the first failure aborts the ingest instead.
+	Failed []FileFailure
 }
 
 // TotalRows returns the number of warehouse rows loaded.
@@ -189,44 +198,21 @@ func (r Report) TotalRows() int {
 	return n
 }
 
-// IngestDir runs the whole pipeline over a log directory: for each file
-// with a declaration, parse → convert → load into db. Files with no
-// binding are reported in Skipped, not failed: a log directory routinely
-// contains artifacts (network traces, notes) outside the declaration.
+// TotalQuarantined sums the quarantined regions across accepted files.
+func (r Report) TotalQuarantined() int {
+	n := 0
+	for _, f := range r.Files {
+		n += f.Quarantined
+	}
+	return n
+}
+
+// IngestDir runs the whole pipeline over a log directory under the
+// default FailFast policy: for each file with a declaration, parse →
+// convert → load into db. Files with no binding are reported in Skipped,
+// not failed: a log directory routinely contains artifacts (network
+// traces, notes) outside the declaration. See IngestDirWithOptions for
+// the Quarantine degraded mode.
 func IngestDir(db *mscopedb.DB, logDir, workDir string, plan *Plan) (Report, error) {
-	var rep Report
-	entries, err := os.ReadDir(logDir)
-	if err != nil {
-		return rep, fmt.Errorf("transform: read log dir: %w", err)
-	}
-	names := make([]string, 0, len(entries))
-	for _, e := range entries {
-		if !e.IsDir() {
-			names = append(names, e.Name())
-		}
-	}
-	sort.Strings(names) // deterministic ingest order
-	for _, name := range names {
-		full := filepath.Join(logDir, name)
-		b, ok := plan.Find(name)
-		if !ok {
-			rep.Skipped = append(rep.Skipped, name)
-			continue
-		}
-		fr, err := TransformFile(full, b, workDir)
-		if err != nil {
-			return rep, err
-		}
-		rep.Files = append(rep.Files, fr)
-		conv, err := xmlcsv.ConvertFile(fr.MXMLPath, workDir)
-		if err != nil {
-			return rep, err
-		}
-		loaded, err := importer.LoadFile(db, conv.CSVPath, conv.SchemaPath)
-		if err != nil {
-			return rep, err
-		}
-		rep.Loads = append(rep.Loads, loaded)
-	}
-	return rep, nil
+	return IngestDirWithOptions(db, logDir, workDir, plan, Options{})
 }

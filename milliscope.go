@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"github.com/gt-elba/milliscope/internal/core"
+	"github.com/gt-elba/milliscope/internal/faults"
 	"github.com/gt-elba/milliscope/internal/metrics"
 	"github.com/gt-elba/milliscope/internal/mql"
 	"github.com/gt-elba/milliscope/internal/mscopedb"
@@ -130,10 +131,75 @@ type (
 func DefaultPlan() *Plan { return transform.DefaultPlan() }
 
 // IngestDir pushes a log directory through the transformation pipeline
-// into db using the given declaration plan.
+// into db using the given declaration plan, under the default FailFast
+// policy.
 func IngestDir(db *DB, logDir, workDir string, plan *Plan) (IngestReport, error) {
 	return transform.IngestDir(db, logDir, workDir, plan)
 }
+
+// Degraded-mode ingest types.
+type (
+	// IngestOptions selects the ingest policy, error budget and
+	// quarantine directory.
+	IngestOptions = transform.Options
+	// IngestPolicy is FailFast or Quarantine.
+	IngestPolicy = transform.Policy
+	// FileFailure records one file rejected under Quarantine.
+	FileFailure = transform.FileFailure
+)
+
+// Ingest policies.
+const (
+	// IngestFailFast aborts the ingest on the first malformed line.
+	IngestFailFast = transform.FailFast
+	// IngestQuarantine diverts malformed regions to per-file sinks and
+	// rejects only files whose corruption exceeds the error budget.
+	IngestQuarantine = transform.Quarantine
+)
+
+// ErrFileRejected marks a per-file quarantine-mode rejection inside
+// IngestReport.Failed.
+var ErrFileRejected = transform.ErrFileRejected
+
+// ParseIngestPolicy converts a CLI string ("fail-fast", "quarantine").
+func ParseIngestPolicy(s string) (IngestPolicy, error) { return transform.ParsePolicy(s) }
+
+// IngestDirWithOptions is the policy-aware ingest: under Quarantine,
+// malformed input is diverted and damaged files are rejected per-file
+// instead of aborting the run.
+func IngestDirWithOptions(db *DB, logDir, workDir string, plan *Plan, opts IngestOptions) (IngestReport, error) {
+	return transform.IngestDirWithOptions(db, logDir, workDir, plan, opts)
+}
+
+// Fault-injection types (the chaos harness).
+type (
+	// FaultConfig parameterizes one deterministic corruption pass.
+	FaultConfig = faults.Config
+	// FaultKind names one injectable fault class.
+	FaultKind = faults.Kind
+	// FaultReport itemizes what a corruption pass injected where.
+	FaultReport = faults.Report
+)
+
+// Fault classes.
+const (
+	FaultGarbage    = faults.KindGarbage
+	FaultTorn       = faults.KindTorn
+	FaultDuplicate  = faults.KindDuplicate
+	FaultTruncate   = faults.KindTruncate
+	FaultSkew       = faults.KindSkew
+	FaultGap        = faults.KindGap
+	FaultDeleteTier = faults.KindDeleteTier
+)
+
+// CorruptLogs copies srcDir to dstDir injecting the configured faults;
+// same seed + same input ⇒ byte-identical output.
+func CorruptLogs(srcDir, dstDir string, cfg FaultConfig) (*FaultReport, error) {
+	return faults.Corrupt(srcDir, dstDir, cfg)
+}
+
+// ParseFaultKinds converts a comma-separated kind list to FaultKinds.
+func ParseFaultKinds(s string) ([]FaultKind, error) { return faults.ParseKinds(s) }
 
 // OpenDB returns an empty warehouse.
 func OpenDB() *DB { return mscopedb.Open() }
@@ -155,9 +221,29 @@ func BuildTraces(db *DB) (map[string]*Trace, error) {
 	return tracegraph.Build(db, tables)
 }
 
-// RenderTrace draws one request's causal path as a swimlane (Figure 5).
+// TraceBuildReport summarizes a degraded-mode trace construction.
+type TraceBuildReport = tracegraph.BuildReport
+
+// BuildTracesPartial joins whichever standard event tables exist into
+// per-request causal paths, flagging traces that provably lack a missing
+// tier instead of failing when a tier's table is absent.
+func BuildTracesPartial(db *DB) (map[string]*Trace, *TraceBuildReport, error) {
+	tables := make([]string, len(Tiers))
+	for i, t := range Tiers {
+		tables[i] = t + "_event"
+	}
+	return tracegraph.BuildPartial(db, tables)
+}
+
+// RenderTrace draws one request's causal path as a swimlane (Figure 5),
+// annotating incomplete traces with their missing tiers and coverage.
 func RenderTrace(w io.Writer, tr *Trace, width int) error {
 	return report.RenderTrace(w, tr, width)
+}
+
+// RenderTraceCoverage summarizes a partial trace construction for humans.
+func RenderTraceCoverage(w io.Writer, rep *TraceBuildReport) error {
+	return report.RenderCoverage(w, rep)
 }
 
 // TierProfile aggregates a tier's latency contribution across traces.
