@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race race-short bench cover fuzz chaos experiment clean
+.PHONY: all build vet test test-short race race-short bench cover fuzz chaos live-smoke experiment clean
 
-all: build vet race-short test
+all: build vet race-short live-smoke test
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,14 @@ chaos:
 	$(GO) run ./cmd/mscope ingest --logs /tmp/mscope-chaos/corrupted --work /tmp/mscope-chaos/work \
 		--db /tmp/mscope-chaos/w.db --mode quarantine --budget 0.25
 	$(GO) run ./cmd/mscope diagnose --db /tmp/mscope-chaos/w.db
+
+# Live-monitoring smoke: replay the disk-IO trial through `mscope live`
+# under the race detector; --expect-alert fails the run unless the online
+# detector raised at least one millibottleneck alert and shut down cleanly.
+live-smoke:
+	rm -rf /tmp/mscope-live-smoke
+	$(GO) run -race ./cmd/mscope live --scenario dbio --out /tmp/mscope-live-smoke \
+		--speed 8 --expect-alert
 
 # One-command reproduction of the whole evaluation (ASCII figures).
 experiment:

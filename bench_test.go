@@ -25,6 +25,7 @@ import (
 	"github.com/gt-elba/milliscope/internal/importer"
 	"github.com/gt-elba/milliscope/internal/mscopedb"
 	"github.com/gt-elba/milliscope/internal/ntier"
+	"github.com/gt-elba/milliscope/internal/stream"
 	"github.com/gt-elba/milliscope/internal/sysviz"
 	"github.com/gt-elba/milliscope/internal/xmlcsv"
 )
@@ -652,4 +653,114 @@ func BenchmarkEndToEndPipeline(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- streaming pipeline benchmarks ---
+
+var (
+	corpusOnce sync.Once
+	corpusDir  string
+	corpusErr  error
+)
+
+// logCorpus stages one Section V-A trial and keeps only its streamable
+// monitor logs (the four event logs and four collectl CSVs), so the batch
+// and streaming ingests below consume exactly the same rows.
+func logCorpus(b *testing.B) string {
+	b.Helper()
+	corpusOnce.Do(func() {
+		base, err := os.MkdirTemp("", "mscope-bench-corpus-")
+		if err != nil {
+			corpusErr = err
+			return
+		}
+		raw := filepath.Join(base, "raw")
+		if _, err := milliscope.RunExperiment(milliscope.ScenarioDBIO(raw)); err != nil {
+			corpusErr = err
+			return
+		}
+		corpusDir = filepath.Join(base, "corpus")
+		if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+			corpusErr = err
+			return
+		}
+		plan := milliscope.DefaultPlan()
+		entries, err := os.ReadDir(raw)
+		if err != nil {
+			corpusErr = err
+			return
+		}
+		for _, e := range entries {
+			if e.IsDir() || !stream.Streamable(plan, e.Name()) {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(raw, e.Name()))
+			if err != nil {
+				corpusErr = err
+				return
+			}
+			if err := os.WriteFile(filepath.Join(corpusDir, e.Name()), data, 0o644); err != nil {
+				corpusErr = err
+				return
+			}
+		}
+	})
+	if corpusErr != nil {
+		b.Fatal(corpusErr)
+	}
+	return corpusDir
+}
+
+// BenchmarkIngestBatch measures the offline workflow over the streamable
+// corpus: parse to annotated XML on disk, convert to CSV, bulk-import —
+// the write-then-reread shape of the paper's original tooling.
+func BenchmarkIngestBatch(b *testing.B) {
+	logs := logCorpus(b)
+	var rows int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		work := tmp(b, "batch-work")
+		b.StartTimer()
+		db := milliscope.OpenDB()
+		rep, err := milliscope.IngestDir(db, logs, work, milliscope.DefaultPlan())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = rep.TotalRows()
+		b.StopTimer()
+		os.RemoveAll(work)
+		b.StartTimer()
+	}
+	if rows == 0 {
+		b.Fatal("batch ingest loaded nothing")
+	}
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkIngestStreaming measures the live pipeline over the same corpus:
+// tail, parse and append rows in one pass with no intermediate files, plus
+// the online detector's bookkeeping — the cost of `mscope live` per row.
+// With static files, Start followed by Stop is one complete drain.
+func BenchmarkIngestStreaming(b *testing.B) {
+	logs := logCorpus(b)
+	var rows int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipe, err := milliscope.NewLivePipeline(milliscope.LiveConfig{LogDir: logs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pipe.Start()
+		if err := pipe.Stop(); err != nil {
+			b.Fatal(err)
+		}
+		rows = pipe.Status().Rows
+	}
+	if rows == 0 {
+		b.Fatal("streaming ingest loaded nothing")
+	}
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	b.ReportMetric(float64(rows), "rows")
 }

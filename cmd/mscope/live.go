@@ -1,0 +1,159 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/gt-elba/milliscope"
+)
+
+// cmdLive runs the streaming mode: stage a scenario's logs with the DES
+// simulator (which runs in virtual time), replay them at wall-clock pace
+// into a live directory, and tail that directory with the incremental
+// pipeline — alerts fire while the "experiment" is still writing.
+func cmdLive(args []string) error {
+	fs := flag.NewFlagSet("live", flag.ContinueOnError)
+	scenario := fs.String("scenario", "dbio", "dbio | dirtypage | jvmgc | dvfs | accuracy")
+	out := fs.String("out", "", "base directory for staged + live logs (required)")
+	dbPath := fs.String("db", "", "warehouse file: loaded if present (resume), saved on exit")
+	window := fs.Duration("window", 50*time.Millisecond, "detector window width")
+	speed := fs.Float64("speed", 8, "replay speed: trial seconds per wall second")
+	poll := fs.Duration("poll", 10*time.Millisecond, "tailer poll interval")
+	grace := fs.Duration("grace", 0, "classification grace past the watermark (default 2s)")
+	httpAddr := fs.String("http", "", "serve /status /alerts /metrics on this address (e.g. :8080)")
+	chaosRate := fs.Float64("chaos-rate", 0, "per-line fault probability injected into the tailed stream")
+	chaosSeed := fs.Int64("chaos-seed", 1, "chaos corruption seed")
+	budget := fs.Float64("budget", 0, "quarantine error budget per source (0 = default 5%)")
+	expectAlert := fs.Bool("expect-alert", false, "exit nonzero unless at least one alert fired")
+	rotate := fs.Float64("rotate", 0, "rotate (truncate) event logs at this replay fraction, 0 = never")
+	users := fs.Int("users", 0, "override concurrent users")
+	duration := fs.Duration("duration", 0, "override trial duration")
+	seed := fs.Int64("seed", 0, "override random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("live: --out is required")
+	}
+	if *speed <= 0 {
+		return fmt.Errorf("live: --speed must be positive")
+	}
+
+	stageDir := filepath.Join(*out, "stage")
+	liveDir := filepath.Join(*out, "live")
+	cfg, err := scenarioConfig(*scenario, stageDir, *users, *duration, *seed)
+	if err != nil {
+		return err
+	}
+	res, err := milliscope.RunExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("staged experiment %s: %s\n", cfg.Name, res.Stats)
+
+	var db *milliscope.DB
+	if *dbPath != "" {
+		if _, statErr := os.Stat(*dbPath); statErr == nil {
+			db, err = milliscope.LoadDB(*dbPath)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("resuming warehouse %s\n", *dbPath)
+		}
+	}
+
+	producer, err := milliscope.NewLiveProducer(milliscope.LiveProducerConfig{
+		SrcDir:    stageDir,
+		DstDir:    liveDir,
+		Duration:  time.Duration(float64(cfg.Ntier.Duration) / *speed),
+		ChaosRate: *chaosRate,
+		ChaosSeed: *chaosSeed,
+		RotateAt:  *rotate,
+	})
+	if err != nil {
+		return err
+	}
+	if producer.ChaosReport != nil {
+		fmt.Print(producer.ChaosReport.Summary())
+	}
+
+	pipe, err := milliscope.NewLivePipeline(milliscope.LiveConfig{
+		LogDir:      liveDir,
+		DB:          db,
+		Window:      *window,
+		Poll:        *poll,
+		Grace:       *grace,
+		ErrorBudget: *budget,
+		OnAlert: func(a milliscope.LiveAlert) {
+			fmt.Printf("ALERT @%s watermark=%dus window=[%d,%d]us: %s\n",
+				a.Raised.Format("15:04:05.000"), a.WatermarkUS,
+				a.Diagnosis.Window.StartMicros, a.Diagnosis.Window.EndMicros,
+				a.Diagnosis.Verdict)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	var srv *http.Server
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return fmt.Errorf("live: %w", err)
+		}
+		srv = &http.Server{Handler: pipe.Handler()}
+		go func() { _ = srv.Serve(ln) }()
+		fmt.Printf("serving /status /alerts /metrics on %s\n", ln.Addr())
+	}
+
+	pipe.Start()
+	replayErr := producer.Run()
+	stopErr := pipe.Stop()
+	if srv != nil {
+		_ = srv.Close()
+	}
+	if replayErr != nil {
+		return replayErr
+	}
+	if stopErr != nil {
+		return stopErr
+	}
+
+	st := pipe.Status()
+	fmt.Printf("live session: %d rows (%.0f rows/sec), %d quarantined, %d alerts\n",
+		st.Rows, st.RowsPerSec, st.Quarantined, st.Alerts)
+	for _, s := range st.Sources {
+		line := fmt.Sprintf("  %-28s → %-22s %8d rows @%d bytes [%s]",
+			s.File, s.Table, s.Rows, s.Offset, s.State)
+		if s.Quarantined > 0 {
+			line += fmt.Sprintf(" (%d quarantined)", s.Quarantined)
+		}
+		if s.Error != "" {
+			line += " " + s.Error
+		}
+		fmt.Println(line)
+	}
+	for _, a := range pipe.Alerts() {
+		extra := ""
+		if len(a.Missing) > 0 {
+			extra = " DEGRADED missing " + strings.Join(a.Missing, ",")
+		}
+		fmt.Printf("alert %d: %s%s\n", a.ID, a.Diagnosis.Verdict, extra)
+	}
+	if *dbPath != "" {
+		if err := pipe.DB().Save(*dbPath); err != nil {
+			return err
+		}
+		fmt.Printf("warehouse saved to %s\n", *dbPath)
+	}
+	if *expectAlert && st.Alerts == 0 {
+		return fmt.Errorf("live: --expect-alert set but no alert fired")
+	}
+	return nil
+}

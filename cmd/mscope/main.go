@@ -40,6 +40,8 @@ func run(args []string) error {
 		return cmdRun(args[1:])
 	case "ingest":
 		return cmdIngest(args[1:])
+	case "live":
+		return cmdLive(args[1:])
 	case "chaos":
 		return cmdChaos(args[1:])
 	case "plan":
@@ -70,6 +72,7 @@ func usage() {
 
 commands:
   run        run a monitored trial (writes monitor logs + network trace)
+  live       replay a trial at wall pace and detect millibottlenecks online
   chaos      copy a log directory injecting deterministic faults
   ingest     transform a log directory and load it into a warehouse file
   plan       write the default Parsing Declaration as editable JSON
@@ -222,7 +225,17 @@ func cmdIngest(args []string) error {
 		return err
 	}
 	opts := milliscope.IngestOptions{Policy: policy, ErrorBudget: *budget, QuarantineDir: *qdir}
-	db := milliscope.OpenDB()
+	var db *milliscope.DB
+	if _, statErr := os.Stat(*dbPath); statErr == nil {
+		// Re-ingesting into an existing warehouse: the ingest ledger makes
+		// the operation idempotent (already-loaded files are skipped).
+		db, err = milliscope.LoadDB(*dbPath)
+		if err != nil {
+			return err
+		}
+	} else {
+		db = milliscope.OpenDB()
+	}
 	rep, err := ingestDir(db, *logs, *work, *planPath, opts)
 	if err != nil {
 		return err
@@ -237,6 +250,9 @@ func cmdIngest(args []string) error {
 	}
 	for _, s := range rep.Skipped {
 		fmt.Printf("  %-28s skipped (no declaration)\n", s)
+	}
+	for _, s := range rep.Unchanged {
+		fmt.Printf("  %-28s unchanged (already loaded)\n", s)
 	}
 	for _, f := range rep.Failed {
 		fmt.Printf("  %-28s REJECTED: %v\n", filepath.Base(f.Input), f.Err)

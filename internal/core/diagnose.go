@@ -43,6 +43,33 @@ func (k CauseKind) String() string {
 	}
 }
 
+// Diagnostic thresholds shared by the batch Diagnose workflow and the
+// streaming online detector (internal/stream): both must reach the same
+// verdict on the same data, so the knobs live in one place.
+const (
+	// VLRTFactor flags windows whose Point-in-Time response time exceeds
+	// this multiple of the average.
+	VLRTFactor = 10
+	// MaxVSBDuration excludes sustained overloads: a very short bottleneck
+	// is by definition short.
+	MaxVSBDuration = 3 * time.Second
+	// CorrelationFloor is the minimum resource–queue correlation for a
+	// candidate to be named the root cause.
+	CorrelationFloor = 0.3
+	// ClassifyPad widens the correlation slice around a VLRT window: the
+	// queue builds before the PIT spike lands.
+	ClassifyPad = time.Second
+	// PushbackLeadIn extends the pushback window backwards — queues grow
+	// while the resource is held, the spike lands when requests complete.
+	PushbackLeadIn = 400 * time.Millisecond
+	// PushbackGrowth is the in-window/out-of-window queue growth factor
+	// that counts a tier as pushed back.
+	PushbackGrowth = 2.5
+	// CorrelationMaxLag bounds the cross-correlation lag search, in
+	// windows.
+	CorrelationMaxLag = 8
+)
+
 // WindowDiagnosis explains one VLRT window.
 type WindowDiagnosis struct {
 	Window   analysis.Window
@@ -71,6 +98,144 @@ type Diagnosis struct {
 // Degraded reports whether any evidence source was unavailable.
 func (d *Diagnosis) Degraded() bool { return len(d.MissingSources) > 0 }
 
+// ResourceCandidate ties one resource series to the root-cause class it
+// would imply if it correlates with the front-tier queue.
+type ResourceCandidate struct {
+	// Name identifies the series in ranked output ("mysql disk").
+	Name string
+	// Tier is the node the series was sampled on.
+	Tier string
+	// Kind is the cause class a win would conclude.
+	Kind CauseKind
+	// Series is the windowed resource series.
+	Series *mscopedb.Series
+}
+
+// Evidence is the sensor set a window classification consults: per-tier
+// queue series, ranked resource candidates, and the corroborating
+// dirty-page and CPU-frequency gauges. The batch Diagnose builds it from
+// warehouse tables; the streaming detector builds it incrementally from
+// closed windows — both hand it to the same ClassifyWindow.
+type Evidence struct {
+	// Queues maps tier → queue-length series (front tier required for a
+	// meaningful classification; missing tiers contribute nothing).
+	Queues map[string]*mscopedb.Series
+	// Candidates are the resource series to rank.
+	Candidates []ResourceCandidate
+	// Dirty maps tier → dirty-page-size series (refines CPU causes).
+	Dirty map[string]*mscopedb.Series
+	// Freq maps tier → CPU-frequency series (refines CPU causes).
+	Freq map[string]*mscopedb.Series
+}
+
+// BuildEvidence assembles the classification evidence from an ingested
+// warehouse at the given window width, recording absent tables in missing
+// instead of failing. It errors only when no resource table exists at all:
+// with zero candidates there is nothing to correlate against.
+func BuildEvidence(db *mscopedb.DB, window time.Duration) (*Evidence, []string, error) {
+	ev := &Evidence{
+		Queues: make(map[string]*mscopedb.Series, len(Tiers)),
+		Dirty:  make(map[string]*mscopedb.Series, len(Tiers)),
+		Freq:   make(map[string]*mscopedb.Series, len(Tiers)),
+	}
+	var missing []string
+	for _, tier := range Tiers {
+		if !db.HasTable(tier + "_event") {
+			missing = append(missing, tier+"_event")
+			continue
+		}
+		q, err := queueSeriesForTier(db, tier, window)
+		if err != nil {
+			return nil, missing, err
+		}
+		ev.Queues[tier] = q
+	}
+	for _, tier := range Tiers {
+		if !db.HasTable(tier + "_collectlcsv") {
+			missing = append(missing, tier+"_collectlcsv")
+			continue
+		}
+		disk, err := resourceSeriesForTier(db, tier, "dsk_util", window, mscopedb.AggMax)
+		if err != nil {
+			return nil, missing, err
+		}
+		ev.Candidates = append(ev.Candidates, ResourceCandidate{
+			Name: tier + " disk", Tier: tier, Kind: CauseDiskIO, Series: disk})
+		user, err := resourceSeriesForTier(db, tier, "cpu_user", window, mscopedb.AggAvg)
+		if err != nil {
+			return nil, missing, err
+		}
+		sys, err := resourceSeriesForTier(db, tier, "cpu_sys", window, mscopedb.AggAvg)
+		if err != nil {
+			return nil, missing, err
+		}
+		ev.Candidates = append(ev.Candidates, ResourceCandidate{
+			Name: tier + " cpu", Tier: tier, Kind: CauseCPU, Series: addSeries(user, sys)})
+		if d, err := resourceSeriesForTier(db, tier, "mem_dirty", window, mscopedb.AggAvg); err == nil {
+			ev.Dirty[tier] = d
+		}
+		if f, err := resourceSeriesForTier(db, tier, "cpu_mhz", window, mscopedb.AggMin); err == nil {
+			ev.Freq[tier] = f
+		}
+	}
+	if len(ev.Candidates) == 0 {
+		return nil, missing, fmt.Errorf("core: no resource-monitor tables in the warehouse (missing %v): diagnosis needs at least one tier's resource plane", missing)
+	}
+	return ev, missing, nil
+}
+
+// ClassifyWindow names the root cause of one VLRT window from the
+// evidence: classify queue pushback, rank every candidate resource by
+// lag-adjusted correlation with the front-tier queue around the window,
+// and refine CPU causes with the corroborating dirty-page and frequency
+// sensors. Both the batch Diagnose and the streaming online detector call
+// this — the verdict logic exists exactly once.
+func ClassifyWindow(ev *Evidence, w analysis.Window) WindowDiagnosis {
+	wd := WindowDiagnosis{Window: w}
+	// Queues build while the resource is held and the PIT spike lands
+	// when the stuck requests complete, so inspect the lead-in too.
+	wide := w
+	wide.StartMicros -= PushbackLeadIn.Microseconds()
+	wd.Pushback = analysis.DetectPushback(ev.Queues, Tiers, wide, PushbackGrowth)
+
+	pad := ClassifyPad.Microseconds()
+	lo, hi := w.StartMicros-pad, w.EndMicros+pad
+	ref := analysis.SliceSeries(ev.Queues["apache"], lo, hi)
+	byName := make(map[string]ResourceCandidate, len(ev.Candidates))
+	for _, c := range ev.Candidates {
+		sliced := analysis.SliceSeries(c.Series, lo, hi)
+		corr, _ := analysis.CrossCorrelate(sliced, ref, CorrelationMaxLag)
+		peak := 0.0
+		for _, v := range analysis.SliceSeries(c.Series, w.StartMicros, w.EndMicros).Values {
+			if v > peak {
+				peak = v
+			}
+		}
+		wd.Causes = append(wd.Causes, analysis.Cause{
+			Name: c.Name, Correlation: corr, PeakInWindow: peak,
+		})
+		byName[c.Name] = c
+	}
+	sortCauses(wd.Causes)
+	if len(wd.Causes) > 0 && wd.Causes[0].Correlation > CorrelationFloor {
+		top := byName[wd.Causes[0].Name]
+		wd.Kind, wd.Node = top.Kind, top.Tier
+		// Refine CPU causes with the corroborating sensors.
+		if wd.Kind == CauseCPU {
+			if f, ok := ev.Freq[top.Tier]; ok && freqDropped(f, lo, hi) {
+				wd.Kind = CauseDVFS
+			} else if d, ok := ev.Dirty[top.Tier]; ok && dirtyCollapsed(d, lo, hi) {
+				wd.Kind = CauseDirtyPage
+			}
+		}
+		wd.Verdict = fmt.Sprintf("%s at %s (r=%.2f, peak %.1f)",
+			wd.Kind, wd.Node, wd.Causes[0].Correlation, wd.Causes[0].PeakInWindow)
+	} else {
+		wd.Verdict = "no resource correlates with the queue spike"
+	}
+	return wd
+}
+
 // Diagnose runs the paper's workflow over an ingested trial: find VLRT
 // windows in the Point-in-Time series, classify queue pushback, rank
 // resource candidates by correlation with the front-tier queue, and name
@@ -91,108 +256,18 @@ func Diagnose(db *mscopedb.DB, window time.Duration) (*Diagnosis, error) {
 		return nil, err
 	}
 	out := &Diagnosis{PIT: pit}
-	vlrts := analysis.DetectVLRTWindows(pit.Series, pit.AvgUS, 10, 3*time.Second)
+	vlrts := analysis.DetectVLRTWindows(pit.Series, pit.AvgUS, VLRTFactor, MaxVSBDuration)
 	if len(vlrts) == 0 {
 		return out, nil
 	}
 
-	queues := make(map[string]*mscopedb.Series, len(Tiers))
-	for _, tier := range Tiers {
-		if !db.HasTable(tier + "_event") {
-			out.MissingSources = append(out.MissingSources, tier+"_event")
-			continue
-		}
-		q, err := queueSeriesForTier(db, tier, window)
-		if err != nil {
-			return nil, err
-		}
-		queues[tier] = q
+	ev, missing, err := BuildEvidence(db, window)
+	out.MissingSources = missing
+	if err != nil {
+		return nil, err
 	}
-	type candidate struct {
-		name string
-		tier string
-		kind CauseKind
-		s    *mscopedb.Series
-	}
-	var candidates []candidate
-	dirty := make(map[string]*mscopedb.Series, len(Tiers))
-	freq := make(map[string]*mscopedb.Series, len(Tiers))
-	for _, tier := range Tiers {
-		if !db.HasTable(tier + "_collectlcsv") {
-			out.MissingSources = append(out.MissingSources, tier+"_collectlcsv")
-			continue
-		}
-		disk, err := resourceSeriesForTier(db, tier, "dsk_util", window, mscopedb.AggMax)
-		if err != nil {
-			return nil, err
-		}
-		candidates = append(candidates, candidate{tier + " disk", tier, CauseDiskIO, disk})
-		user, err := resourceSeriesForTier(db, tier, "cpu_user", window, mscopedb.AggAvg)
-		if err != nil {
-			return nil, err
-		}
-		sys, err := resourceSeriesForTier(db, tier, "cpu_sys", window, mscopedb.AggAvg)
-		if err != nil {
-			return nil, err
-		}
-		candidates = append(candidates, candidate{tier + " cpu", tier, CauseCPU, addSeries(user, sys)})
-		if d, err := resourceSeriesForTier(db, tier, "mem_dirty", window, mscopedb.AggAvg); err == nil {
-			dirty[tier] = d
-		}
-		if f, err := resourceSeriesForTier(db, tier, "cpu_mhz", window, mscopedb.AggMin); err == nil {
-			freq[tier] = f
-		}
-	}
-	if len(candidates) == 0 {
-		// Degrade on partial loss, but with zero resource tables there is
-		// no resource plane to correlate against at all.
-		return nil, fmt.Errorf("core: no resource-monitor tables in the warehouse (missing %v): diagnosis needs at least one tier's resource plane", out.MissingSources)
-	}
-
-	pad := time.Second.Microseconds()
 	for _, w := range vlrts {
-		wd := WindowDiagnosis{Window: w}
-		// Queues build while the resource is held and the PIT spike lands
-		// when the stuck requests complete, so inspect the lead-in too.
-		wide := w
-		wide.StartMicros -= (400 * time.Millisecond).Microseconds()
-		wd.Pushback = analysis.DetectPushback(queues, Tiers, wide, 2.5)
-
-		lo, hi := w.StartMicros-pad, w.EndMicros+pad
-		ref := analysis.SliceSeries(queues["apache"], lo, hi)
-		byName := make(map[string]candidate, len(candidates))
-		for _, c := range candidates {
-			sliced := analysis.SliceSeries(c.s, lo, hi)
-			corr, _ := analysis.CrossCorrelate(sliced, ref, 8)
-			peak := 0.0
-			for _, v := range analysis.SliceSeries(c.s, w.StartMicros, w.EndMicros).Values {
-				if v > peak {
-					peak = v
-				}
-			}
-			wd.Causes = append(wd.Causes, analysis.Cause{
-				Name: c.name, Correlation: corr, PeakInWindow: peak,
-			})
-			byName[c.name] = c
-		}
-		sortCauses(wd.Causes)
-		if len(wd.Causes) > 0 && wd.Causes[0].Correlation > 0.3 {
-			top := byName[wd.Causes[0].Name]
-			wd.Kind, wd.Node = top.kind, top.tier
-			// Refine CPU causes with the corroborating sensors.
-			if wd.Kind == CauseCPU {
-				if f, ok := freq[top.tier]; ok && freqDropped(f, lo, hi) {
-					wd.Kind = CauseDVFS
-				} else if d, ok := dirty[top.tier]; ok && dirtyCollapsed(d, lo, hi) {
-					wd.Kind = CauseDirtyPage
-				}
-			}
-			wd.Verdict = fmt.Sprintf("%s at %s (r=%.2f, peak %.1f)",
-				wd.Kind, wd.Node, wd.Causes[0].Correlation, wd.Causes[0].PeakInWindow)
-		} else {
-			wd.Verdict = "no resource correlates with the queue spike"
-		}
-		out.Windows = append(out.Windows, wd)
+		out.Windows = append(out.Windows, ClassifyWindow(ev, w))
 	}
 	return out, nil
 }

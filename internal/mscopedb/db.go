@@ -58,6 +58,7 @@ func Open() *DB {
 		{Name: "tbl", Type: TString},
 		{Name: "file", Type: TString},
 		{Name: "rows", Type: TInt},
+		{Name: "offset", Type: TInt},
 		{Name: "loaded", Type: TTime},
 	})
 	return db
@@ -156,11 +157,44 @@ func (db *DB) RecordMonitor(experiment int64, node, kind, file string) error {
 	return t.Append(experiment, node, kind, file)
 }
 
-// RecordIngest appends one ingest provenance row.
+// RecordIngest appends one ingest provenance row with no byte offset
+// (stage files that are always rewritten whole, e.g. converter CSVs).
 func (db *DB) RecordIngest(table, file string, rows int, loaded time.Time) error {
+	return db.RecordIngestAt(table, file, rows, 0, loaded)
+}
+
+// RecordIngestAt appends one ingest provenance row carrying the byte
+// offset of the source file consumed so far. The ledger makes re-ingest
+// idempotent: a file whose recorded offset equals its current size is
+// already fully loaded, and a resumed streaming ingest starts tailing at
+// the recorded offset instead of re-reading history.
+func (db *DB) RecordIngestAt(table, file string, rows int, offset int64, loaded time.Time) error {
 	t, err := db.Table(TableIngests)
 	if err != nil {
 		return err
 	}
-	return t.Append(table, file, int64(rows), loaded)
+	return t.Append(table, file, int64(rows), offset, loaded)
+}
+
+// LatestIngestOffset returns the most recently recorded byte offset for a
+// source file, and whether the ledger has any entry for it. Entries are
+// append-only; the last row for the file wins.
+func (db *DB) LatestIngestOffset(file string) (int64, bool) {
+	t, err := db.Table(TableIngests)
+	if err != nil {
+		return 0, false
+	}
+	fi, oi := t.ColIndex("file"), t.ColIndex("offset")
+	if fi < 0 || oi < 0 {
+		return 0, false
+	}
+	var off int64
+	found := false
+	for r := 0; r < t.Rows(); r++ {
+		if t.Str(fi, r) == file {
+			off = t.Int(oi, r)
+			found = true
+		}
+	}
+	return off, found
 }

@@ -222,6 +222,86 @@ func (t *Table) AppendStrings(raw []string) error {
 	return nil
 }
 
+// Widen converts a column to a wider storage type in place, rewriting the
+// stored cells: int → float keeps the numeric values; any type → string
+// re-renders each cell. The streaming incremental ingest uses it when a
+// later record contradicts the schema inferred from the first records
+// (e.g. a downstream timestamp that is numeric for most requests but "-"
+// for static ones) — exactly the widening the batch converter's bottom-up
+// inference would have produced had it seen the whole file.
+func (t *Table) Widen(col string, to Type) error {
+	ci := t.ColIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("mscopedb: %s: no column %q", t.name, col)
+	}
+	from := t.cols[ci].Type
+	if from == to {
+		return nil
+	}
+	d := &t.data[ci]
+	switch {
+	case from == TInt && to == TFloat:
+		d.Floats = make([]float64, len(d.Ints))
+		for i, v := range d.Ints {
+			d.Floats[i] = float64(v)
+		}
+		d.Ints = nil
+	case to == TString:
+		d.Strs = make([]string, 0, t.rows)
+		switch from {
+		case TInt:
+			for _, v := range d.Ints {
+				d.Strs = append(d.Strs, strconv.FormatInt(v, 10))
+			}
+			d.Ints = nil
+		case TFloat:
+			for _, v := range d.Floats {
+				d.Strs = append(d.Strs, strconv.FormatFloat(v, 'g', -1, 64))
+			}
+			d.Floats = nil
+		case TTime:
+			for _, v := range d.Times {
+				d.Strs = append(d.Strs, time.UnixMicro(v).UTC().Format(mxml.TimeLayout))
+			}
+			d.Times = nil
+		}
+	default:
+		return fmt.Errorf("mscopedb: %s.%s: cannot widen %v to %v", t.name, col, from, to)
+	}
+	t.cols[ci].Type = to
+	return nil
+}
+
+// AddColumn appends a new column, backfilling existing rows with the
+// column's zero value. The streaming ingest uses it when a later record
+// introduces a field the first records lacked (an optional derived field).
+func (t *Table) AddColumn(c Column) error {
+	if c.Name == "" {
+		return fmt.Errorf("mscopedb: %s: column with empty name", t.name)
+	}
+	if c.Type < TInt || c.Type > TString {
+		return fmt.Errorf("mscopedb: %s: column %q has invalid type", t.name, c.Name)
+	}
+	if _, dup := t.colIdx[c.Name]; dup {
+		return fmt.Errorf("mscopedb: %s: duplicate column %q", t.name, c.Name)
+	}
+	var d colData
+	switch c.Type {
+	case TInt:
+		d.Ints = make([]int64, t.rows)
+	case TFloat:
+		d.Floats = make([]float64, t.rows)
+	case TTime:
+		d.Times = make([]int64, t.rows)
+	case TString:
+		d.Strs = make([]string, t.rows)
+	}
+	t.colIdx[c.Name] = len(t.cols)
+	t.cols = append(t.cols, c)
+	t.data = append(t.data, d)
+	return nil
+}
+
 // Int returns an int cell.
 func (t *Table) Int(col, row int) int64 { return t.data[col].Ints[row] }
 

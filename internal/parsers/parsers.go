@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"regexp"
+	"sync"
 	"time"
 
 	"github.com/gt-elba/milliscope/internal/mxml"
@@ -201,22 +202,31 @@ func applyCommon(e *mxml.Entry, instr Instructions) error {
 // compile caches compiled patterns; declarations reuse a small set of
 // regexes across millions of lines.
 func compile(pattern string) (*regexp.Regexp, error) {
-	if re, ok := reCache[pattern]; ok {
+	reCacheMu.RLock()
+	re, ok := reCache[pattern]
+	reCacheMu.RUnlock()
+	if ok {
 		return re, nil
 	}
 	re, err := regexp.Compile(pattern)
 	if err != nil {
 		return nil, fmt.Errorf("parsers: compile %q: %w", pattern, err)
 	}
+	reCacheMu.Lock()
 	if len(reCache) < 256 {
 		reCache[pattern] = re
 	}
+	reCacheMu.Unlock()
 	return re, nil
 }
 
-// reCache is populated lazily; parsing is single-goroutine by design (the
-// transformer processes files sequentially for deterministic output).
-var reCache = make(map[string]*regexp.Regexp)
+// reCache is populated lazily. The batch transformer parses files
+// sequentially, but the live pipeline runs one parser goroutine per tailed
+// source, so the cache is lock-guarded.
+var (
+	reCacheMu sync.RWMutex
+	reCache   = make(map[string]*regexp.Regexp)
+)
 
 // groupsToEntry appends every named group of a match to the entry.
 func groupsToEntry(e *mxml.Entry, re *regexp.Regexp, m []string) {

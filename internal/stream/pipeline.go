@@ -1,0 +1,489 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/faults"
+	"github.com/gt-elba/milliscope/internal/mscopedb"
+	"github.com/gt-elba/milliscope/internal/mxml"
+	"github.com/gt-elba/milliscope/internal/parsers"
+	"github.com/gt-elba/milliscope/internal/simtime"
+	"github.com/gt-elba/milliscope/internal/transform"
+)
+
+// Config parameterizes a live pipeline. Zero values select defaults.
+type Config struct {
+	// LogDir is the directory tailed for monitor logs. Required.
+	LogDir string
+	// DB receives the rows; pass a loaded warehouse to resume a previous
+	// session (the ingest ledger checkpoints decide where tailing starts).
+	// Nil opens a fresh one.
+	DB *mscopedb.DB
+	// Plan is the Parsing Declaration; nil uses the default.
+	Plan *transform.Plan
+	// Window is the detector's PIT window width (default 50ms).
+	Window time.Duration
+	// Poll is the tailer poll interval (default 10ms).
+	Poll time.Duration
+	// ErrorBudget is the per-source quarantine budget (default 5%): a
+	// source whose corrupt-record ratio exceeds it is rejected, exactly as
+	// the batch quarantine policy rejects a file.
+	ErrorBudget float64
+	// Skew is the clock-skew bound subtracted from the low watermark
+	// (default: the fault model's 2ms).
+	Skew time.Duration
+	// Grace delays classification past the watermark (default 2s); see
+	// DefaultGrace.
+	Grace time.Duration
+	// ChannelCap bounds the record channel (default 256). Backpressure:
+	// when the loader lags, parsers block here, their pipes fill, and the
+	// tailers stop reading — nothing buffers without bound.
+	ChannelCap int
+	// OnAlert, when set, receives each alert as it fires, from the loader
+	// goroutine: it must not block on the pipeline itself.
+	OnAlert func(Alert)
+}
+
+// minBudgetSamples is how many records a source must produce before the
+// error budget can reject it — a handful of early corrupt lines is not a
+// ratio.
+const minBudgetSamples = 200
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if out.LogDir == "" {
+		return out, fmt.Errorf("stream: Config.LogDir is required")
+	}
+	if out.DB == nil {
+		out.DB = mscopedb.Open()
+	}
+	if out.Plan == nil {
+		out.Plan = transform.DefaultPlan()
+	}
+	if out.Window <= 0 {
+		out.Window = 50 * time.Millisecond
+	}
+	if out.Poll <= 0 {
+		out.Poll = 10 * time.Millisecond
+	}
+	if out.ErrorBudget == 0 {
+		out.ErrorBudget = transform.DefaultErrorBudget
+	}
+	if out.Skew <= 0 {
+		out.Skew = faults.DefaultSkewMax
+	}
+	if out.Grace <= 0 {
+		out.Grace = DefaultGrace
+	}
+	if out.ChannelCap <= 0 {
+		out.ChannelCap = 256
+	}
+	return out, nil
+}
+
+// rec is one parsed record in flight from a parser to the loader.
+type rec struct {
+	src   *source
+	entry mxml.Entry
+}
+
+// Pipeline is the live ingest-and-detect engine. Start launches the tail
+// loop (file discovery + polling), one parser goroutine per source, and
+// the loader (append, watermark, detection). Stop drains everything —
+// remaining bytes are read to EOF, partial lines flushed, parsers joined,
+// final windows classified — and checkpoints per-source byte offsets in
+// the ingest ledger.
+type Pipeline struct {
+	cfg Config
+	db  *mscopedb.DB
+	wm  *Watermark
+	det *detector
+
+	recs     chan rec
+	stopCh   chan struct{}
+	loadDone chan struct{}
+	parserWG sync.WaitGroup
+
+	rowsTotal atomic.Int64
+
+	mu      sync.Mutex
+	sources []*source
+	byPath  map[string]*source
+	alerts  []Alert
+	started time.Time
+	running bool
+	stopped bool
+	loadErr error
+}
+
+// New builds a pipeline; Start actually runs it.
+func New(cfg Config) (*Pipeline, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		cfg:      c,
+		db:       c.DB,
+		wm:       NewWatermark(c.Skew.Microseconds()),
+		det:      newDetector(c.DB, c.Window, c.Grace),
+		recs:     make(chan rec, c.ChannelCap),
+		stopCh:   make(chan struct{}),
+		loadDone: make(chan struct{}),
+		byPath:   make(map[string]*source),
+	}, nil
+}
+
+// DB returns the warehouse the pipeline loads. Only touch it after Stop:
+// during the run it belongs to the loader goroutine.
+func (p *Pipeline) DB() *mscopedb.DB { return p.db }
+
+// Start launches the pipeline goroutines.
+func (p *Pipeline) Start() {
+	p.mu.Lock()
+	if p.running {
+		p.mu.Unlock()
+		return
+	}
+	p.running = true
+	p.started = time.Now()
+	p.mu.Unlock()
+	go p.tailLoop()
+	go p.loader()
+}
+
+// Stop drains and joins the pipeline; safe to call once. It returns the
+// first loader error (an append that failed), if any — parse-level damage
+// is not an error here, it is quarantine policy.
+func (p *Pipeline) Stop() error {
+	p.mu.Lock()
+	if !p.running {
+		p.mu.Unlock()
+		return fmt.Errorf("stream: pipeline not started")
+	}
+	already := p.stopped
+	p.stopped = true
+	p.mu.Unlock()
+	if !already {
+		close(p.stopCh)
+	}
+	<-p.loadDone
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.loadErr
+}
+
+// Alerts returns the alerts raised so far, in raise order.
+func (p *Pipeline) Alerts() []Alert {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Alert, len(p.alerts))
+	copy(out, p.alerts)
+	return out
+}
+
+// tailLoop discovers and polls sources until stopped, then performs the
+// shutdown drain: read every file to EOF, flush partial lines, close the
+// parser pipes, join the parsers, and close the record channel so the
+// loader can finish.
+func (p *Pipeline) tailLoop() {
+	ticker := time.NewTicker(p.cfg.Poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stopCh:
+			p.scan()
+			// Drain to EOF: keep polling while bytes still arrive (a
+			// producer may race the shutdown), bounded so a still-live
+			// writer cannot pin us here forever.
+			for pass := 0; pass < 100; pass++ {
+				if p.pollAll() == 0 {
+					break
+				}
+			}
+			p.flushAll()
+			p.closePipes()
+			p.parserWG.Wait()
+			close(p.recs)
+			return
+		case <-ticker.C:
+			p.scan()
+			p.pollAll()
+		}
+	}
+}
+
+// scan discovers newly appeared streamable files — logs can show up after
+// startup (a monitor started late, a tier recovered).
+func (p *Pipeline) scan() {
+	entries, err := os.ReadDir(p.cfg.LogDir)
+	if err != nil {
+		return // the directory may not exist yet
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // deterministic discovery order
+	for _, name := range names {
+		full := filepath.Join(p.cfg.LogDir, name)
+		p.mu.Lock()
+		_, known := p.byPath[full]
+		p.mu.Unlock()
+		if known || !Streamable(p.cfg.Plan, name) {
+			continue
+		}
+		p.addSource(full, name)
+	}
+}
+
+// resumableAtOffset reports whether a binding's format can restart
+// mid-file: per-line formats resynchronize at any line boundary (a torn
+// first line is quarantined), but anything that consumes a file header —
+// collectl's column row, the slow log's HeaderLines — must re-read from
+// byte zero (already-loaded records are then dropped by count instead).
+func resumableAtOffset(b transform.Binding) bool {
+	switch b.Parser {
+	case "token", "lines":
+		return b.Instructions.HeaderLines == 0
+	default:
+		return false
+	}
+}
+
+// addSource registers one file: resolve its binding, decide the resume
+// point from the ingest ledger, start its tailer and parser.
+func (p *Pipeline) addSource(full, name string) {
+	b, _ := p.cfg.Plan.Find(name)
+	parser, err := parsers.Get(b.Parser)
+	if err != nil {
+		return // a plan naming an unknown parser skips the file
+	}
+	host := transform.HostOf(full, b)
+	s := &source{
+		path:    full,
+		name:    name,
+		binding: b,
+		table:   host + "_" + b.TableSuffix,
+		host:    host,
+		parser:  parser,
+		state:   StateActive,
+	}
+	var offset int64
+	if off, known := p.db.LatestIngestOffset(full); known && off > 0 {
+		if resumableAtOffset(b) {
+			offset = off
+		} else if p.db.HasTable(s.table) {
+			// Header-carrying format: re-read from zero but drop the
+			// records already in the table — the row-level resume.
+			if t, terr := p.db.Table(s.table); terr == nil {
+				s.skipEntries = int64(t.Rows())
+			}
+		}
+	}
+	s.tail = NewTailer(full, offset)
+	pr, pw := io.Pipe()
+	s.pw = pw
+	p.wm.Register(full)
+	p.parserWG.Add(1)
+	go p.runParser(s, pr)
+	p.mu.Lock()
+	p.sources = append(p.sources, s)
+	p.byPath[full] = s
+	p.mu.Unlock()
+}
+
+// snapshot returns the current source list.
+func (p *Pipeline) snapshot() []*source {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*source, len(p.sources))
+	copy(out, p.sources)
+	return out
+}
+
+// pollAll polls every active source once and returns total new bytes.
+func (p *Pipeline) pollAll() int {
+	total := 0
+	for _, s := range p.snapshot() {
+		if st, _ := s.status(); st != StateActive {
+			continue
+		}
+		n, err := s.tail.Poll(s.write)
+		total += n
+		if err != nil && !isClosedPipe(err) {
+			s.setState(StateFailed, err)
+			p.wm.Finish(s.path)
+		}
+	}
+	return total
+}
+
+// flushAll emits every buffered partial last line.
+func (p *Pipeline) flushAll() {
+	for _, s := range p.snapshot() {
+		if st, _ := s.status(); st != StateActive {
+			continue
+		}
+		if err := s.tail.Flush(s.write); err != nil && !isClosedPipe(err) {
+			s.setState(StateFailed, err)
+		}
+	}
+}
+
+// closePipes EOFs every parser.
+func (p *Pipeline) closePipes() {
+	for _, s := range p.snapshot() {
+		s.pw.Close()
+	}
+}
+
+func isClosedPipe(err error) bool {
+	return err == io.ErrClosedPipe
+}
+
+// runParser feeds one source's pipe through its mScopeParser — degraded
+// mode when the parser supports it, so malformed regions are counted and
+// skipped with the same record-boundary resync the batch quarantine uses.
+func (p *Pipeline) runParser(s *source, pr *io.PipeReader) {
+	defer p.parserWG.Done()
+	emit := func(e mxml.Entry) error {
+		p.recs <- rec{src: s, entry: e}
+		return nil
+	}
+	sink := func(parsers.Malformed) error {
+		s.quarantined.Add(1)
+		return nil
+	}
+	var err error
+	if dp, ok := s.parser.(parsers.DegradedParser); ok {
+		err = dp.ParseDegraded(pr, s.binding.Instructions, emit, sink)
+	} else {
+		err = s.parser.Parse(pr, s.binding.Instructions, emit)
+	}
+	if err != nil {
+		// A strict parser died; unblock the tailer permanently and stop
+		// counting this source against the watermark.
+		s.setState(StateFailed, err)
+		p.wm.Finish(s.path)
+		pr.CloseWithError(err)
+		return
+	}
+	pr.Close()
+}
+
+// loader is the single consumer: append rows, advance frontiers, enforce
+// the error budget, and drive the detector as the watermark moves.
+func (p *Pipeline) loader() {
+	defer close(p.loadDone)
+	var lastLow int64
+	for r := range p.recs {
+		s := r.src
+		if st, _ := s.status(); st == StateRejected {
+			continue
+		}
+		if s.skipEntries > 0 {
+			s.skipEntries--
+		} else {
+			if s.app == nil {
+				s.app = newAppender(p.db, s.table)
+			}
+			if err := s.app.append(r.entry); err != nil {
+				s.setState(StateFailed, err)
+				p.wm.Finish(s.path)
+				p.mu.Lock()
+				if p.loadErr == nil {
+					p.loadErr = err
+				}
+				p.mu.Unlock()
+				continue
+			}
+			s.rows.Add(1)
+			p.rowsTotal.Add(1)
+			if s.host == "apache" && s.binding.TableSuffix == "event" {
+				p.observeFront(&r.entry)
+			}
+		}
+		if us, ok := s.eventTimeUS(&r.entry); ok {
+			p.wm.Observe(s.path, us)
+			s.frontierUS.Store(us)
+		}
+		if q := s.quarantined.Load(); q > 0 {
+			total := s.rows.Load() + q
+			if total >= minBudgetSamples && float64(q)/float64(total) > p.cfg.ErrorBudget {
+				s.setState(StateRejected, fmt.Errorf(
+					"stream: %s: corrupt-record ratio %.4f exceeds error budget %.4f (%d of %d)",
+					s.name, float64(q)/float64(total), p.cfg.ErrorBudget, q, total))
+				p.wm.Finish(s.path)
+			}
+		}
+		if low, ok := p.wm.Low(); ok && low != finalLow && low >= lastLow+p.det.windowUS {
+			lastLow = low
+			p.raise(p.det.advance(low, false, p.cfg.Window, time.Now))
+		}
+	}
+	// Channel closed: every parser is done. Checkpoint and classify the
+	// remainder with the gating relaxed — all evidence has arrived.
+	p.checkpoint()
+	p.raise(p.det.advance(finalLow, true, p.cfg.Window, time.Now))
+}
+
+// observeFront folds a front-tier event into the online PIT statistic.
+func (p *Pipeline) observeFront(e *mxml.Entry) {
+	uaS, ok1 := e.Get("ua")
+	udS, ok2 := e.Get("ud")
+	if !ok1 || !ok2 {
+		return
+	}
+	ua, err1 := strconv.ParseInt(uaS, 10, 64)
+	ud, err2 := strconv.ParseInt(udS, 10, 64)
+	if err1 != nil || err2 != nil {
+		return
+	}
+	p.det.observe(ua, ud)
+}
+
+// raise records new alerts and notifies the callback.
+func (p *Pipeline) raise(alerts []Alert) {
+	for _, a := range alerts {
+		p.mu.Lock()
+		a.ID = len(p.alerts) + 1
+		p.alerts = append(p.alerts, a)
+		cb := p.cfg.OnAlert
+		p.mu.Unlock()
+		if cb != nil {
+			cb(a)
+		}
+	}
+}
+
+// checkpoint writes the per-source ledger rows: the byte offset fed to the
+// parser and the rows appended. A later `mscope ingest` over the same
+// directory, or a restarted live session, resumes from here instead of
+// duplicating rows.
+func (p *Pipeline) checkpoint() {
+	for _, s := range p.snapshot() {
+		s.setState(StateDone, nil)
+		if !p.db.HasTable(s.table) {
+			continue
+		}
+		if err := p.db.RecordIngestAt(s.table, s.path, int(s.rows.Load()),
+			s.tail.Committed(), simtime.Epoch); err != nil {
+			p.mu.Lock()
+			if p.loadErr == nil {
+				p.loadErr = err
+			}
+			p.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/mscopedb"
+	"github.com/gt-elba/milliscope/internal/mxml"
+	"github.com/gt-elba/milliscope/internal/parsers"
+	"github.com/gt-elba/milliscope/internal/transform"
+	"github.com/gt-elba/milliscope/internal/xmlcsv"
+)
+
+// Source states reported in Status.
+const (
+	StateActive   = "active"
+	StateFailed   = "failed"   // strict parser or I/O error; table keeps its rows
+	StateRejected = "rejected" // quarantine error budget breached
+	StateDone     = "done"     // drained cleanly at shutdown
+)
+
+// Streamable reports whether the live pipeline tails a file: it must have
+// a Parsing Declaration binding, and its format must carry per-record
+// event times the watermark can track (the four event logs and the
+// collectl CSVs — exactly the evidence the diagnosis consumes).
+func Streamable(plan *transform.Plan, name string) bool {
+	b, ok := plan.Find(name)
+	if !ok {
+		return false
+	}
+	return b.TableSuffix == "event" || b.TableSuffix == "collectlcsv"
+}
+
+// source is one tailed file: its tailer, parser, target table, and
+// counters. The tail loop owns the tailer, the parser goroutine owns the
+// parse, the loader owns the appender; cross-goroutine fields are atomic
+// or mutex-guarded.
+type source struct {
+	path    string
+	name    string // base name
+	binding transform.Binding
+	table   string
+	host    string
+	parser  parsers.Parser
+	tail    *Tailer
+	pw      *io.PipeWriter
+
+	// skipEntries > 0 means the parse restarts from byte zero (the format
+	// needs its header) and this many already-loaded records are dropped
+	// before appending resumes — the row-level half of idempotent resume.
+	skipEntries int64
+
+	app *appender // loader-owned
+
+	rows        atomic.Int64
+	quarantined atomic.Int64
+	frontierUS  atomic.Int64
+
+	mu    sync.Mutex
+	state string
+	err   error
+}
+
+// write feeds tailed bytes into the parser pipe; it blocks while the
+// parser (and transitively the loader) is busy — the backpressure edge.
+func (s *source) write(b []byte) error {
+	_, err := s.pw.Write(b)
+	return err
+}
+
+func (s *source) setState(state string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Terminal states stick: a budget rejection is not overwritten by the
+	// shutdown drain marking everything done.
+	if s.state == StateFailed || s.state == StateRejected {
+		return
+	}
+	s.state = state
+	s.err = err
+}
+
+func (s *source) status() (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state, s.err
+}
+
+// eventTimeUS extracts the record's event time: departure (ud) for event
+// tables, sample timestamp (ts) for collectl CSVs. False means the record
+// carries no usable clock — it still loads, but cannot advance the
+// watermark.
+func (s *source) eventTimeUS(e *mxml.Entry) (int64, bool) {
+	if s.binding.TableSuffix == "event" {
+		v, ok := e.Get("ud")
+		if !ok {
+			return 0, false
+		}
+		us, err := strconv.ParseInt(v, 10, 64)
+		return us, err == nil
+	}
+	v, ok := e.Get("ts")
+	if !ok {
+		return 0, false
+	}
+	ts, err := time.Parse(mxml.TimeLayout, v)
+	if err != nil {
+		return 0, false
+	}
+	return ts.UnixMicro(), true
+}
+
+// appender maintains one warehouse table incrementally: the table is
+// created from the first record's inferred schema, and later records that
+// contradict it widen columns or add new ones in place — converging on
+// the same schema the batch converter's whole-file inference would have
+// produced.
+type appender struct {
+	db    *mscopedb.DB
+	name  string
+	table *mscopedb.Table
+}
+
+func newAppender(db *mscopedb.DB, name string) *appender {
+	a := &appender{db: db, name: name}
+	if db.HasTable(name) {
+		a.table, _ = db.Table(name) // resume: append to the existing table
+	}
+	return a
+}
+
+func (a *appender) append(e mxml.Entry) error {
+	if a.table == nil {
+		inf := xmlcsv.NewInference()
+		inf.Observe(e)
+		cols := inf.Columns()
+		if cols == nil {
+			return fmt.Errorf("stream: %s: record with no fields", a.name)
+		}
+		t, err := a.db.Create(a.name, cols)
+		if err != nil {
+			return err
+		}
+		a.table = t
+	}
+	for _, f := range e.Fields {
+		ci := a.table.ColIndex(f.Name)
+		if ci < 0 {
+			inf := xmlcsv.NewInference()
+			inf.Observe(mxml.Entry{Fields: []mxml.Field{f}})
+			if err := a.table.AddColumn(inf.Columns()[0]); err != nil {
+				return err
+			}
+			continue
+		}
+		cur := a.table.Columns()[ci].Type
+		if want := xmlcsv.WidenFor(cur, f.Value, f.Hint); want != cur {
+			if err := a.table.Widen(f.Name, want); err != nil {
+				return err
+			}
+		}
+	}
+	return a.table.AppendStrings(xmlcsv.Row(e, a.table.Columns()))
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/gt-elba/milliscope/internal/mscopedb"
 	"github.com/gt-elba/milliscope/internal/mxml"
 	"github.com/gt-elba/milliscope/internal/parsers"
+	"github.com/gt-elba/milliscope/internal/simtime"
 	"github.com/gt-elba/milliscope/internal/xmlcsv"
 )
 
@@ -246,6 +247,27 @@ func IngestDirWithOptions(db *mscopedb.DB, logDir, workDir string, plan *Plan, o
 			rep.Skipped = append(rep.Skipped, name)
 			continue
 		}
+		info, err := os.Stat(full)
+		if err != nil {
+			return rep, fmt.Errorf("transform: stat %s: %w", full, err)
+		}
+		if off, known := db.LatestIngestOffset(full); known {
+			if off == info.Size() {
+				// Fully loaded by a previous ingest of this warehouse —
+				// skipping keeps re-ingest idempotent.
+				rep.Unchanged = append(rep.Unchanged, name)
+				continue
+			}
+			// The file changed since it was loaded (grew, or was rewritten
+			// by rotation): rebuild its table from scratch rather than
+			// appending duplicates on top of stale rows.
+			table := hostOf(full, b) + "_" + b.TableSuffix
+			if db.HasTable(table) {
+				if err := db.Drop(table); err != nil {
+					return rep, fmt.Errorf("transform: rebuild %s: %w", table, err)
+				}
+			}
+		}
 		var fr FileResult
 		if opts.Policy == Quarantine {
 			fr, err = transformFileDegraded(full, b, workDir, opts)
@@ -271,6 +293,11 @@ func IngestDirWithOptions(db *mscopedb.DB, logDir, workDir string, plan *Plan, o
 		if err != nil {
 			return rep, err
 		}
+		// Ledger the source file at its consumed size so a re-ingest of
+		// the same directory into this warehouse skips it.
+		if err := db.RecordIngestAt(loaded.Table, full, loaded.Rows, info.Size(), simtime.Epoch); err != nil {
+			return rep, err
+		}
 		rep.Loads = append(rep.Loads, loaded)
 	}
 	rep.sortDeterministic()
@@ -283,5 +310,6 @@ func (r *Report) sortDeterministic() {
 	sort.Slice(r.Files, func(i, j int) bool { return r.Files[i].Input < r.Files[j].Input })
 	sort.Slice(r.Loads, func(i, j int) bool { return r.Loads[i].Table < r.Loads[j].Table })
 	sort.Strings(r.Skipped)
+	sort.Strings(r.Unchanged)
 	sort.Slice(r.Failed, func(i, j int) bool { return r.Failed[i].Input < r.Failed[j].Input })
 }

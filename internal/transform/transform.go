@@ -109,6 +109,11 @@ func LoadPlan(path string) (*Plan, error) {
 	return &p, nil
 }
 
+// HostOf derives the warehouse host for a file under a binding — shared
+// with the streaming pipeline, which names tables the same way the batch
+// ingest does so both load the same warehouse shape.
+func HostOf(filename string, b Binding) string { return hostOf(filename, b) }
+
 // hostOf derives the host from a log file name: "mysql_collectl.csv" →
 // "mysql".
 func hostOf(filename string, b Binding) string {
@@ -183,6 +188,10 @@ type Report struct {
 	Files   []FileResult
 	Loads   []importer.Loaded
 	Skipped []string
+	// Unchanged lists files the ingest ledger proved fully loaded already
+	// (recorded byte offset equals current size): re-running an ingest
+	// over the same directory re-reads nothing and duplicates no rows.
+	Unchanged []string
 	// Failed lists files rejected under the Quarantine policy (error
 	// budget breached or nothing parsed); always empty under FailFast,
 	// where the first failure aborts the ingest instead.

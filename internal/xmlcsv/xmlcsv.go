@@ -258,3 +258,82 @@ func ReadSchema(path string) (Schema, []mscopedb.Column, error) {
 func SchemaPathFor(csvPath string) string {
 	return strings.TrimSuffix(csvPath, ".csv") + ".schema.json"
 }
+
+// Inference is the bottom-up schema-inference state exposed for
+// incremental use: the streaming ingest (internal/stream) observes entries
+// one at a time and asks for the column set once enough records have been
+// buffered, instead of scanning a completed mxml document twice. The
+// lattice is identical to ConvertFile's.
+type Inference struct {
+	order  []string
+	states map[string]inferState
+}
+
+// NewInference returns an empty inference.
+func NewInference() *Inference {
+	return &Inference{states: make(map[string]inferState)}
+}
+
+// Observe folds one entry's fields into the inference.
+func (inf *Inference) Observe(e mxml.Entry) {
+	for _, f := range e.Fields {
+		if _, seen := inf.states[f.Name]; !seen {
+			inf.order = append(inf.order, f.Name)
+			inf.states[f.Name] = stUnknown
+		}
+		inf.states[f.Name] = merge(inf.states[f.Name], classify(f.Value, f.Hint))
+	}
+}
+
+// Columns returns the inferred schema in first-appearance order; nil when
+// no fields were observed.
+func (inf *Inference) Columns() []mscopedb.Column {
+	if len(inf.order) == 0 {
+		return nil
+	}
+	cols := make([]mscopedb.Column, len(inf.order))
+	for i, name := range inf.order {
+		cols[i] = mscopedb.Column{Name: name, Type: toDBType(inf.states[name])}
+	}
+	return cols
+}
+
+// WidenFor returns the column type needed to also store the given value:
+// the merge of the current type with the value's classification. Equal to
+// cur when the value already fits — the streaming ingest widens the live
+// table only when this differs.
+func WidenFor(cur mscopedb.Type, value, hint string) mscopedb.Type {
+	var st inferState
+	switch cur {
+	case mscopedb.TInt:
+		st = stInt
+	case mscopedb.TFloat:
+		st = stFloat
+	case mscopedb.TTime:
+		st = stTime
+	default:
+		st = stString
+	}
+	merged := merge(st, classify(value, hint))
+	if merged == stUnknown {
+		return cur
+	}
+	return toDBType(merged)
+}
+
+// Row renders one entry as a cell row in schema order: absent fields are
+// empty cells, duplicate field names keep the last value (the same rule
+// ConvertFile applies).
+func Row(e mxml.Entry, cols []mscopedb.Column) []string {
+	pos := make(map[string]int, len(cols))
+	for i, c := range cols {
+		pos[c.Name] = i
+	}
+	row := make([]string, len(cols))
+	for _, f := range e.Fields {
+		if i, ok := pos[f.Name]; ok {
+			row[i] = f.Value
+		}
+	}
+	return row
+}

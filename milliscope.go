@@ -40,6 +40,7 @@ import (
 	"github.com/gt-elba/milliscope/internal/ntier"
 	"github.com/gt-elba/milliscope/internal/parsers"
 	"github.com/gt-elba/milliscope/internal/report"
+	"github.com/gt-elba/milliscope/internal/stream"
 	"github.com/gt-elba/milliscope/internal/tracegraph"
 	"github.com/gt-elba/milliscope/internal/transform"
 )
@@ -315,3 +316,27 @@ var (
 	// Fig11ThroughputRT regenerates Figure 11.
 	Fig11ThroughputRT = core.Fig11ThroughputRT
 )
+
+// Live streaming pipeline: incremental ingest and online millibottleneck
+// detection over growing log files (internal/stream).
+type (
+	// LiveConfig parameterizes a live pipeline.
+	LiveConfig = stream.Config
+	// LivePipeline tails logs, appends rows incrementally, and raises
+	// millibottleneck alerts online.
+	LivePipeline = stream.Pipeline
+	// LiveStatus is a point-in-time pipeline snapshot.
+	LiveStatus = stream.Status
+	// LiveAlert is one online millibottleneck verdict.
+	LiveAlert = stream.Alert
+	// LiveProducerConfig parameterizes a staged-log replay.
+	LiveProducerConfig = stream.ProducerConfig
+	// LiveProducer replays a finished trial's logs at wall-clock pace.
+	LiveProducer = stream.Producer
+)
+
+// NewLivePipeline builds a live pipeline; call Start then Stop on it.
+func NewLivePipeline(cfg LiveConfig) (*LivePipeline, error) { return stream.New(cfg) }
+
+// NewLiveProducer stages a replay of a finished trial's streamable logs.
+func NewLiveProducer(cfg LiveProducerConfig) (*LiveProducer, error) { return stream.NewProducer(cfg) }
