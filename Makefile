@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race race-short bench cover fuzz chaos live-smoke experiment clean
+.PHONY: all build vet test test-short race race-short bench bench-check cover fuzz chaos live-smoke experiment clean
 
-all: build vet race-short live-smoke test
+all: build vet race-short live-smoke test bench-check
 
 build:
 	$(GO) build ./...
@@ -31,13 +31,24 @@ race-short:
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
+# Regression gate: re-run the ingest benchmarks and compare against the
+# committed baselines (BENCH_ingest.json, BENCH_stream.json). A tracked
+# metric >20% worse than its baseline fails the build; improvements pass
+# (re-record the baseline to lock them in).
+bench-check:
+	$(GO) test -run xxx -bench 'BenchmarkIngestBatch|BenchmarkIngestParallel|BenchmarkIngestStreaming' \
+		-benchtime 5x -benchmem . 2>&1 | tee bench_output.txt
+	$(GO) run ./cmd/benchcheck --input bench_output.txt BENCH_ingest.json BENCH_stream.json
+
 cover:
 	$(GO) test -short -cover ./...
 
-# Short fuzz pass over the event-log parsers (native go fuzzing).
+# Short fuzz pass over the event-log parsers (native go fuzzing), plus
+# the shard-planner equivalence property one layer up.
 fuzz:
 	$(GO) test -fuzz FuzzApacheAccessLog -fuzztime 30s ./internal/parsers/
 	$(GO) test -fuzz FuzzMySQLSlowLog -fuzztime 30s ./internal/parsers/
+	$(GO) test -fuzz FuzzShardedParseEquivalence -fuzztime 30s ./internal/transform/
 
 # End-to-end chaos drill: run a trial, corrupt its logs deterministically,
 # ingest the damage under the quarantine policy, and diagnose anyway.

@@ -739,6 +739,37 @@ func BenchmarkIngestBatch(b *testing.B) {
 	b.ReportMetric(float64(rows), "rows")
 }
 
+// BenchmarkIngestParallel measures the same offline workflow with the
+// sharded engine at --workers=4: files and chunks parse concurrently, a
+// sequenced appender merges them, and the resulting warehouse is
+// row-for-row identical to BenchmarkIngestBatch (the differential suite
+// in internal/transform and internal/core proves it).
+func BenchmarkIngestParallel(b *testing.B) {
+	logs := logCorpus(b)
+	var rows int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		work := tmp(b, "par-work")
+		b.StartTimer()
+		db := milliscope.OpenDB()
+		rep, err := milliscope.IngestDirWithOptions(db, logs, work, milliscope.DefaultPlan(),
+			milliscope.IngestOptions{Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = rep.TotalRows()
+		b.StopTimer()
+		os.RemoveAll(work)
+		b.StartTimer()
+	}
+	if rows == 0 {
+		b.Fatal("parallel ingest loaded nothing")
+	}
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	b.ReportMetric(float64(rows), "rows")
+}
+
 // BenchmarkIngestStreaming measures the live pipeline over the same corpus:
 // tail, parse and append rows in one pass with no intermediate files, plus
 // the online detector's bookkeeping — the cost of `mscope live` per row.

@@ -1,0 +1,200 @@
+// Command benchcheck guards the committed benchmark baselines: it parses
+// `go test -bench` output and compares every benchmark that appears in a
+// baseline JSON file (BENCH_ingest.json, BENCH_stream.json), failing when
+// a tracked metric regresses beyond the tolerance. Checks are
+// direction-aware — ns/op regresses upward, rows/s regresses downward —
+// and improvements always pass (refresh the baseline to lock them in).
+//
+// Usage:
+//
+//	benchcheck --input bench_output.txt [--tolerance 0.20] BENCH_ingest.json [BENCH_stream.json ...]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// baseline mirrors the committed BENCH_*.json layout. Metric keys not
+// listed in checkedMetrics (rows, bytes_per_op, allocs_per_op) are
+// informational and never gate.
+type baseline struct {
+	Date       string                        `json:"date"`
+	Corpus     string                        `json:"corpus"`
+	Command    string                        `json:"command"`
+	CPU        string                        `json:"cpu"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+	Headline   string                        `json:"headline"`
+}
+
+// UnmarshalJSON tolerates non-numeric fields (like "notes") inside each
+// benchmark entry by decoding loosely and keeping only the numbers.
+func (b *baseline) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Date       string                            `json:"date"`
+		Corpus     string                            `json:"corpus"`
+		Command    string                            `json:"command"`
+		CPU        string                            `json:"cpu"`
+		Benchmarks map[string]map[string]interface{} `json:"benchmarks"`
+		Headline   string                            `json:"headline"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Date, b.Corpus, b.Command, b.CPU, b.Headline = raw.Date, raw.Corpus, raw.Command, raw.CPU, raw.Headline
+	b.Benchmarks = map[string]map[string]float64{}
+	for name, metrics := range raw.Benchmarks {
+		b.Benchmarks[name] = map[string]float64{}
+		for k, v := range metrics {
+			if f, ok := v.(float64); ok {
+				b.Benchmarks[name][k] = f
+			}
+		}
+	}
+	return nil
+}
+
+// checkedMetrics maps a baseline metric key to its direction: true means
+// lower is better (time), false means higher is better (throughput).
+var checkedMetrics = map[string]bool{
+	"ns_per_op":    true,
+	"rows_per_sec": false,
+}
+
+// unitToKey maps a `go test -bench` unit to the baseline metric key.
+var unitToKey = map[string]string{
+	"ns/op":     "ns_per_op",
+	"rows/s":    "rows_per_sec",
+	"rows":      "rows",
+	"B/op":      "bytes_per_op",
+	"allocs/op": "allocs_per_op",
+}
+
+// parseBenchOutput extracts value/unit pairs from benchmark result lines:
+//
+//	BenchmarkIngestBatch-4   3   1944027762 ns/op   36406 rows   18727 rows/s ...
+//
+// The -N GOMAXPROCS suffix is stripped so baselines are CPU-count
+// agnostic.
+func parseBenchOutput(r *bufio.Scanner) (map[string]map[string]float64, error) {
+	out := map[string]map[string]float64{}
+	for r.Scan() {
+		fields := strings.Fields(r.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		metrics := map[string]float64{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if key, ok := unitToKey[fields[i+1]]; ok {
+				metrics[key] = v
+			}
+		}
+		if len(metrics) > 0 {
+			out[name] = metrics
+		}
+	}
+	return out, r.Err()
+}
+
+// check compares one baseline against measured results and returns the
+// regression messages (empty = pass). Benchmarks missing from the run are
+// an error: a silently-skipped benchmark would let a deleted or renamed
+// benchmark pass forever.
+func check(base baseline, got map[string]map[string]float64, tol float64) []string {
+	var fails []string
+	for name, want := range base.Benchmarks {
+		m, ok := got[name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: missing from bench output", name))
+			continue
+		}
+		for key, baseVal := range want {
+			lowerBetter, tracked := checkedMetrics[key]
+			if !tracked || baseVal == 0 {
+				continue
+			}
+			gotVal, ok := m[key]
+			if !ok {
+				fails = append(fails, fmt.Sprintf("%s: metric %s missing from bench output", name, key))
+				continue
+			}
+			ratio := gotVal / baseVal
+			if lowerBetter && ratio > 1+tol {
+				fails = append(fails, fmt.Sprintf("%s: %s regressed %.1f%% (%.0f -> %.0f, tolerance %.0f%%)",
+					name, key, (ratio-1)*100, baseVal, gotVal, tol*100))
+			}
+			if !lowerBetter && ratio < 1-tol {
+				fails = append(fails, fmt.Sprintf("%s: %s regressed %.1f%% (%.0f -> %.0f, tolerance %.0f%%)",
+					name, key, (1-ratio)*100, baseVal, gotVal, tol*100))
+			}
+		}
+	}
+	return fails
+}
+
+func run() error {
+	input := flag.String("input", "bench_output.txt", "`go test -bench` output to check")
+	tol := flag.Float64("tolerance", 0.20, "allowed fractional regression per metric")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		return fmt.Errorf("usage: benchcheck [--input bench_output.txt] BENCH_x.json [...]")
+	}
+
+	f, err := os.Open(*input)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	got, err := parseBenchOutput(bufio.NewScanner(f))
+	if err != nil {
+		return err
+	}
+
+	failed := false
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var base baseline
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fails := check(base, got, *tol)
+		if len(fails) == 0 {
+			fmt.Printf("benchcheck: %s OK (%d benchmarks within %.0f%%)\n",
+				path, len(base.Benchmarks), *tol*100)
+			continue
+		}
+		failed = true
+		for _, msg := range fails {
+			fmt.Printf("benchcheck: %s FAIL: %s\n", path, msg)
+		}
+	}
+	if failed {
+		return fmt.Errorf("benchmark regression against committed baseline")
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/gt-elba/milliscope
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkIngestBatch-4    	       3	2000000000 ns/op	     36406 rows	     18000 rows/s	602993525 B/op	14823200 allocs/op
+BenchmarkIngestParallel   	       3	1000000000 ns/op	     36406 rows	     36000 rows/s
+PASS
+ok  	github.com/gt-elba/milliscope	20.847s
+`
+
+func parse(t *testing.T) map[string]map[string]float64 {
+	t.Helper()
+	got, err := parseBenchOutput(bufio.NewScanner(strings.NewReader(sampleOutput)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	got := parse(t)
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(got))
+	}
+	// The -4 GOMAXPROCS suffix must be stripped.
+	batch, ok := got["BenchmarkIngestBatch"]
+	if !ok {
+		t.Fatalf("BenchmarkIngestBatch missing: %v", got)
+	}
+	for key, want := range map[string]float64{
+		"ns_per_op": 2000000000, "rows": 36406, "rows_per_sec": 18000,
+		"bytes_per_op": 602993525, "allocs_per_op": 14823200,
+	} {
+		if batch[key] != want {
+			t.Errorf("batch %s = %v, want %v", key, batch[key], want)
+		}
+	}
+}
+
+func mkBaseline(ns, rps float64) baseline {
+	return baseline{Benchmarks: map[string]map[string]float64{
+		"BenchmarkIngestBatch": {"ns_per_op": ns, "rows_per_sec": rps, "rows": 36406},
+	}}
+}
+
+func TestCheckDirections(t *testing.T) {
+	got := parse(t)
+	cases := []struct {
+		name  string
+		base  baseline
+		fails int
+	}{
+		{"within tolerance", mkBaseline(1900000000, 19000), 0},
+		{"big improvement passes", mkBaseline(9000000000, 1000), 0},
+		{"ns regression fails", mkBaseline(1000000000, 18000), 1},
+		{"throughput regression fails", mkBaseline(2000000000, 40000), 1},
+		{"both regress", mkBaseline(1000000000, 40000), 2},
+	}
+	for _, tc := range cases {
+		if n := len(check(tc.base, got, 0.20)); n != tc.fails {
+			t.Errorf("%s: %d failures, want %d: %v", tc.name, n, tc.fails, check(tc.base, got, 0.20))
+		}
+	}
+}
+
+func TestCheckMissingBenchmarkFails(t *testing.T) {
+	base := baseline{Benchmarks: map[string]map[string]float64{
+		"BenchmarkGone": {"ns_per_op": 1},
+	}}
+	if n := len(check(base, parse(t), 0.20)); n != 1 {
+		t.Fatalf("missing benchmark produced %d failures, want 1", n)
+	}
+}
+
+func TestCheckUntrackedMetricsIgnored(t *testing.T) {
+	// rows / B/op / allocs drift must never gate.
+	base := baseline{Benchmarks: map[string]map[string]float64{
+		"BenchmarkIngestBatch": {
+			"ns_per_op": 2000000000, "rows_per_sec": 18000,
+			"rows": 1, "bytes_per_op": 1, "allocs_per_op": 1,
+		},
+	}}
+	if fails := check(base, parse(t), 0.20); len(fails) != 0 {
+		t.Fatalf("untracked metrics gated the check: %v", fails)
+	}
+}
+
+func TestBaselineUnmarshalSkipsNotes(t *testing.T) {
+	var b baseline
+	blob := `{"date":"2026-08-05","benchmarks":{"BenchmarkX":{"ns_per_op":5,"notes":"free text"}}}`
+	if err := b.UnmarshalJSON([]byte(blob)); err != nil {
+		t.Fatal(err)
+	}
+	if b.Benchmarks["BenchmarkX"]["ns_per_op"] != 5 {
+		t.Fatalf("numeric metric lost: %v", b.Benchmarks)
+	}
+	if _, ok := b.Benchmarks["BenchmarkX"]["notes"]; ok {
+		t.Fatal("non-numeric field leaked into metrics")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -75,6 +76,7 @@ commands:
   live       replay a trial at wall pace and detect millibottlenecks online
   chaos      copy a log directory injecting deterministic faults
   ingest     transform a log directory and load it into a warehouse file
+             (--workers N shards files and parses them concurrently)
   plan       write the default Parsing Declaration as editable JSON
   tables     list warehouse tables
   query      run an MQL query against a warehouse file
@@ -214,17 +216,23 @@ func cmdIngest(args []string) error {
 	mode := fs.String("mode", "fail-fast", "malformed-input policy: fail-fast | quarantine")
 	budget := fs.Float64("budget", 0, "quarantine error budget (corrupt-line ratio per file; 0 = default 5%)")
 	qdir := fs.String("quarantine", "", "quarantine sink directory (default: WORK/quarantine)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
+		"parallel ingest workers (1 = serial; output is identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *logs == "" || *work == "" || *dbPath == "" {
 		return fmt.Errorf("ingest: --logs, --work and --db are required")
 	}
+	if *workers < 1 {
+		return fmt.Errorf("ingest: --workers must be >= 1")
+	}
 	policy, err := milliscope.ParseIngestPolicy(*mode)
 	if err != nil {
 		return err
 	}
-	opts := milliscope.IngestOptions{Policy: policy, ErrorBudget: *budget, QuarantineDir: *qdir}
+	opts := milliscope.IngestOptions{Policy: policy, ErrorBudget: *budget,
+		QuarantineDir: *qdir, Workers: *workers}
 	var db *milliscope.DB
 	if _, statErr := os.Stat(*dbPath); statErr == nil {
 		// Re-ingesting into an existing warehouse: the ingest ledger makes

@@ -28,18 +28,47 @@ type Loaded struct {
 // converter wrote both, so a mismatch means the files are unrelated.
 func LoadFile(db *mscopedb.DB, csvPath, schemaPath string) (Loaded, error) {
 	var out Loaded
-	schema, cols, err := xmlcsv.ReadSchema(schemaPath)
+	tbl, err := BuildTable(csvPath, schemaPath)
 	if err != nil {
 		return out, err
 	}
-	tbl, err := db.Create(schema.Table, cols)
-	if err != nil {
+	return Install(db, tbl, csvPath)
+}
+
+// Install attaches a worker-built table to db and records its provenance:
+// the sequenced half of LoadFile. The parallel ingest calls BuildTable
+// from concurrent workers and Install from the single in-order appender,
+// so the warehouse and its ledger mutate exactly as under serial LoadFile.
+func Install(db *mscopedb.DB, tbl *mscopedb.Table, csvPath string) (Loaded, error) {
+	var out Loaded
+	if err := db.Install(tbl); err != nil {
 		return out, fmt.Errorf("importer: create table: %w", err)
+	}
+	out.Table = tbl.Name()
+	out.Rows = tbl.Rows()
+	if err := db.RecordIngest(tbl.Name(), csvPath, out.Rows, loadStamp()); err != nil {
+		return out, fmt.Errorf("importer: record ingest: %w", err)
+	}
+	return out, nil
+}
+
+// BuildTable loads the converter's CSV into a standalone table built from
+// the schema, touching no warehouse. It is the worker half of the parallel
+// ingest's batched append path: concurrent workers call BuildTable, the
+// sequenced appender calls DB.Install with the result.
+func BuildTable(csvPath, schemaPath string) (*mscopedb.Table, error) {
+	schema, cols, err := xmlcsv.ReadSchema(schemaPath)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := mscopedb.NewTable(schema.Table, cols)
+	if err != nil {
+		return nil, fmt.Errorf("importer: create table: %w", err)
 	}
 
 	f, err := os.Open(csvPath)
 	if err != nil {
-		return out, fmt.Errorf("importer: open %s: %w", csvPath, err)
+		return nil, fmt.Errorf("importer: open %s: %w", csvPath, err)
 	}
 	defer f.Close()
 	r := csv.NewReader(bufio.NewReaderSize(f, 1<<16))
@@ -47,15 +76,15 @@ func LoadFile(db *mscopedb.DB, csvPath, schemaPath string) (Loaded, error) {
 
 	header, err := r.Read()
 	if err != nil {
-		return out, fmt.Errorf("importer: read header of %s: %w", csvPath, err)
+		return nil, fmt.Errorf("importer: read header of %s: %w", csvPath, err)
 	}
 	if len(header) != len(cols) {
-		return out, fmt.Errorf("importer: %s: header has %d columns, schema has %d",
+		return nil, fmt.Errorf("importer: %s: header has %d columns, schema has %d",
 			csvPath, len(header), len(cols))
 	}
 	for i, h := range header {
 		if h != cols[i].Name {
-			return out, fmt.Errorf("importer: %s: header column %d is %q, schema says %q",
+			return nil, fmt.Errorf("importer: %s: header column %d is %q, schema says %q",
 				csvPath, i, h, cols[i].Name)
 		}
 	}
@@ -66,18 +95,13 @@ func LoadFile(db *mscopedb.DB, csvPath, schemaPath string) (Loaded, error) {
 			break
 		}
 		if err != nil {
-			return out, fmt.Errorf("importer: read %s: %w", csvPath, err)
+			return nil, fmt.Errorf("importer: read %s: %w", csvPath, err)
 		}
 		if err := tbl.AppendStrings(rec); err != nil {
-			return out, fmt.Errorf("importer: load %s row %d: %w", csvPath, tbl.Rows()+1, err)
+			return nil, fmt.Errorf("importer: load %s row %d: %w", csvPath, tbl.Rows()+1, err)
 		}
 	}
-	out.Table = schema.Table
-	out.Rows = tbl.Rows()
-	if err := db.RecordIngest(schema.Table, csvPath, out.Rows, loadStamp()); err != nil {
-		return out, fmt.Errorf("importer: record ingest: %w", err)
-	}
-	return out, nil
+	return tbl, nil
 }
 
 // loadStamp returns the provenance timestamp. The warehouse content must

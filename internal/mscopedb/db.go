@@ -79,6 +79,24 @@ func (db *DB) Create(name string, cols []Column) (*Table, error) {
 	return t, nil
 }
 
+// Install attaches a fully built table under its name; the name must be
+// new. It is the batched append path of the parallel ingest: workers build
+// tables off to the side and the single sequenced appender installs each
+// one whole, so the warehouse mutates in exactly the order a serial
+// Create+Append ingest would produce.
+func (db *DB) Install(t *Table) error {
+	if t == nil {
+		return fmt.Errorf("mscopedb: install nil table")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[t.Name()]; exists {
+		return fmt.Errorf("mscopedb: table %q already exists", t.Name())
+	}
+	db.tables[t.Name()] = t
+	return nil
+}
+
 // Table returns the named table.
 func (db *DB) Table(name string) (*Table, error) {
 	db.mu.RLock()

@@ -1,0 +1,91 @@
+package parsers
+
+import (
+	"io"
+	"regexp"
+)
+
+// TailLine is one line of an incomplete record left at the end of a
+// mid-file shard. Line is the absolute 1-based line number in the whole
+// file; Text is the line as the scanner produced it (trailing \r removed).
+type TailLine struct {
+	Line int
+	Text string
+}
+
+// Boundary describes where a sharded parse of a format may safely begin.
+// The shard planner uses it to choose cut points that usually coincide
+// with record starts; correctness does not depend on it (a cut inside a
+// record surfaces as a non-empty tail and is re-parsed), only tail
+// frequency does.
+type Boundary struct {
+	// Start matches a line that can open a record. nil means every line
+	// boundary is a safe cut (single-line record formats).
+	Start *regexp.Regexp
+}
+
+// ChunkParser is implemented by parsers whose input can be split into
+// byte shards that are parsed independently and stitched back together.
+// The contract that makes sharded parsing equivalent to a serial parse:
+//
+//   - ParseChunk numbers lines from startLine, so header skipping and
+//     every diagnostic carry the same line numbers as a whole-file parse;
+//   - a mid shard (mid=true) that ends inside a record returns the
+//     partial record's lines as the tail instead of reporting truncation.
+//     An empty tail certifies that the serial parser state at the cut is
+//     fresh, i.e. the next shard's independent parse is exactly what the
+//     serial parse would have produced; a non-empty tail tells the
+//     coordinator to discard the next shard's result and re-parse from
+//     the tail's first line.
+type ChunkParser interface {
+	Parser
+	// Chunkable reports whether these instructions permit sharded parsing
+	// and, if so, returns the record-boundary description for the planner.
+	Chunkable(instr Instructions) (Boundary, bool)
+	// ParseChunk parses one shard whose first line is line startLine of
+	// the whole file. mid marks a shard that ends before the file does.
+	// A nil rec selects fail-fast semantics, as in Parse.
+	ParseChunk(in io.Reader, instr Instructions, startLine int, mid bool, emit Emit, rec Recover) ([]TailLine, error)
+}
+
+var _ ChunkParser = tokenParser{}
+var _ ChunkParser = linesParser{}
+var _ ChunkParser = mysqlSlowParser{}
+
+// Chunkable: every line is an independent record, so any line start is a
+// safe cut and shards never produce tails.
+func (tokenParser) Chunkable(instr Instructions) (Boundary, bool) {
+	return Boundary{}, true
+}
+
+func (tokenParser) ParseChunk(in io.Reader, instr Instructions, startLine int, mid bool, emit Emit, rec Recover) ([]TailLine, error) {
+	return tokenParser{}.parse(in, instr, startLine, emit, rec)
+}
+
+// Chunkable: records open at a line matching the first group rule.
+func (linesParser) Chunkable(instr Instructions) (Boundary, bool) {
+	if len(instr.Group) == 0 {
+		return Boundary{}, false
+	}
+	re, err := compile(instr.Group[0].Pattern)
+	if err != nil {
+		return Boundary{}, false
+	}
+	return Boundary{Start: re}, true
+}
+
+func (linesParser) ParseChunk(in io.Reader, instr Instructions, startLine int, mid bool, emit Emit, rec Recover) ([]TailLine, error) {
+	return linesParser{}.parse(in, instr, startLine, mid, emit, rec)
+}
+
+// Chunkable: slow-log records open at the "# Time:" line of the fixed
+// record shape, regardless of user instructions.
+func (mysqlSlowParser) Chunkable(Instructions) (Boundary, bool) {
+	return linesParser{}.Chunkable(mysqlSlowInstr)
+}
+
+func (mysqlSlowParser) ParseChunk(in io.Reader, instr Instructions, startLine int, mid bool, emit Emit, rec Recover) ([]TailLine, error) {
+	fixed := mysqlSlowInstr
+	fixed.Const = instr.Const
+	return linesParser{}.parse(in, fixed, startLine, mid, finishSlowRecord(emit, rec), rec)
+}

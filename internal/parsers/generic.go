@@ -28,7 +28,8 @@ var _ DegradedParser = tokenParser{}
 func (tokenParser) Name() string { return "token" }
 
 func (tokenParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
-	return tokenParser{}.parse(in, instr, emit, nil)
+	_, err := tokenParser{}.parse(in, instr, 1, emit, nil)
+	return err
 }
 
 // ParseDegraded diverts unmatched and semantically invalid lines to rec
@@ -37,20 +38,24 @@ func (tokenParser) ParseDegraded(in io.Reader, instr Instructions, emit Emit, re
 	if rec == nil {
 		return fmt.Errorf("parsers: token degraded mode requires a Recover sink")
 	}
-	return tokenParser{}.parse(in, instr, emit, rec)
+	_, err := tokenParser{}.parse(in, instr, 1, emit, rec)
+	return err
 }
 
 // parse is the shared token loop; rec == nil selects fail-fast semantics.
-func (tokenParser) parse(in io.Reader, instr Instructions, emit Emit, rec Recover) error {
+// startLine numbers the first input line so sharded parses report the
+// same diagnostics as whole-file parses. Records are single lines, so the
+// tail is always nil.
+func (tokenParser) parse(in io.Reader, instr Instructions, startLine int, emit Emit, rec Recover) ([]TailLine, error) {
 	if instr.Pattern == "" {
-		return fmt.Errorf("parsers: token mode requires a pattern")
+		return nil, fmt.Errorf("parsers: token mode requires a pattern")
 	}
 	re, err := compile(instr.Pattern)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sc := newScanner(in)
-	lineNo := 0
+	lineNo := startLine - 1
 	for sc.Scan() {
 		lineNo++
 		line := sc.Text()
@@ -64,10 +69,10 @@ func (tokenParser) parse(in io.Reader, instr Instructions, emit Emit, rec Recove
 			}
 			err := fmt.Errorf("parsers: line %d does not match token pattern: %q", lineNo, line)
 			if rec == nil {
-				return err
+				return nil, err
 			}
 			if rerr := rec(Malformed{Line: lineNo, Text: line, Err: err}); rerr != nil {
-				return rerr
+				return nil, rerr
 			}
 			continue
 		}
@@ -76,21 +81,21 @@ func (tokenParser) parse(in io.Reader, instr Instructions, emit Emit, rec Recove
 		if err := applyCommon(&e, instr); err != nil {
 			err = fmt.Errorf("parsers: line %d: %w", lineNo, err)
 			if rec == nil {
-				return err
+				return nil, err
 			}
 			if rerr := rec(Malformed{Line: lineNo, Text: line, Err: err}); rerr != nil {
-				return rerr
+				return nil, rerr
 			}
 			continue
 		}
 		if err := emit(e); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("parsers: scan: %w", err)
+		return nil, fmt.Errorf("parsers: scan: %w", err)
 	}
-	return nil
+	return nil, nil
 }
 
 // linesParser is the generic fixed-size line-group parser ("the sequence
@@ -103,7 +108,8 @@ var _ DegradedParser = linesParser{}
 func (linesParser) Name() string { return "lines" }
 
 func (linesParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
-	return linesParser{}.parse(in, instr, emit, nil)
+	_, err := linesParser{}.parse(in, instr, 1, false, emit, nil)
+	return err
 }
 
 // ParseDegraded diverts malformed records to rec and resynchronizes at the
@@ -113,39 +119,39 @@ func (linesParser) ParseDegraded(in io.Reader, instr Instructions, emit Emit, re
 	if rec == nil {
 		return fmt.Errorf("parsers: lines degraded mode requires a Recover sink")
 	}
-	return linesParser{}.parse(in, instr, emit, rec)
-}
-
-// pendingLine is one consumed line of the record being assembled, kept so a
-// mid-record failure can divert the whole partial record.
-type pendingLine struct {
-	no   int
-	text string
+	_, err := linesParser{}.parse(in, instr, 1, false, emit, rec)
+	return err
 }
 
 // parse is the shared lines-mode loop; rec == nil selects fail-fast
-// semantics.
-func (linesParser) parse(in io.Reader, instr Instructions, emit Emit, rec Recover) error {
+// semantics. startLine numbers the first input line. When mid is true the
+// input is a mid-file shard: an incomplete record at end of input is the
+// shard's tail — the serial parse would keep assembling it from the next
+// shard's lines — so it is returned instead of being treated as
+// truncation. Pending lines are always consecutive (nothing is skipped
+// once a record is open), so the tail can be re-fed verbatim ahead of the
+// next shard.
+func (linesParser) parse(in io.Reader, instr Instructions, startLine int, mid bool, emit Emit, rec Recover) ([]TailLine, error) {
 	if len(instr.Group) == 0 {
-		return fmt.Errorf("parsers: lines mode requires group rules")
+		return nil, fmt.Errorf("parsers: lines mode requires group rules")
 	}
 	compiled := make([]*regexp.Regexp, len(instr.Group))
 	for i, r := range instr.Group {
 		re, err := compile(r.Pattern)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		compiled[i] = re
 	}
 	sc := newScanner(in)
-	lineNo := 0
+	lineNo := startLine - 1
 	var e mxml.Entry
-	var pending []pendingLine
+	var pending []TailLine
 	idx := 0
 	// divert hands the current partial record to rec and resets the state.
 	divert := func(cause error) error {
 		for _, p := range pending {
-			if rerr := rec(Malformed{Line: p.no, Text: p.text, Err: cause}); rerr != nil {
+			if rerr := rec(Malformed{Line: p.Line, Text: p.Text, Err: cause}); rerr != nil {
 				return rerr
 			}
 		}
@@ -170,37 +176,37 @@ func (linesParser) parse(in io.Reader, instr Instructions, emit Emit, rec Recove
 			err := fmt.Errorf("parsers: line %d does not match group rule %d (%q): %q",
 				lineNo, idx, instr.Group[idx].Pattern, line)
 			if rec == nil {
-				return err
+				return nil, err
 			}
 			if idx != 0 {
 				// Abandon the partial record, then re-test this line as a
 				// possible start of the next record.
 				if rerr := divert(err); rerr != nil {
-					return rerr
+					return nil, rerr
 				}
 				goto retry
 			}
 			if rerr := rec(Malformed{Line: lineNo, Text: line, Err: err}); rerr != nil {
-				return rerr
+				return nil, rerr
 			}
 			continue
 		}
 		groupsToEntry(&e, re, m)
-		pending = append(pending, pendingLine{no: lineNo, text: line})
+		pending = append(pending, TailLine{Line: lineNo, Text: line})
 		idx++
 		if idx == len(compiled) {
 			if err := applyCommon(&e, instr); err != nil {
 				err = fmt.Errorf("parsers: record ending line %d: %w", lineNo, err)
 				if rec == nil {
-					return err
+					return nil, err
 				}
 				if rerr := divert(err); rerr != nil {
-					return rerr
+					return nil, rerr
 				}
 				continue
 			}
 			if err := emit(e); err != nil {
-				return fmt.Errorf("parsers: record ending line %d: %w", lineNo, err)
+				return nil, fmt.Errorf("parsers: record ending line %d: %w", lineNo, err)
 			}
 			e = mxml.Entry{}
 			pending = pending[:0]
@@ -208,17 +214,24 @@ func (linesParser) parse(in io.Reader, instr Instructions, emit Emit, rec Recove
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("parsers: scan: %w", err)
+		return nil, fmt.Errorf("parsers: scan: %w", err)
 	}
 	if idx != 0 {
+		if mid {
+			// The record may complete in the next shard; hand the pending
+			// lines back so the coordinator re-parses across the cut.
+			tail := make([]TailLine, len(pending))
+			copy(tail, pending)
+			return tail, nil
+		}
 		err := fmt.Errorf("parsers: truncated record at end of file (started line %d): got %d of %d lines",
-			pending[0].no, idx, len(compiled))
+			pending[0].Line, idx, len(compiled))
 		if rec == nil {
-			return err
+			return nil, err
 		}
 		if rerr := divert(err); rerr != nil {
-			return rerr
+			return nil, rerr
 		}
 	}
-	return nil
+	return nil, nil
 }

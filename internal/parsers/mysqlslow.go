@@ -43,7 +43,8 @@ func (mysqlSlowParser) Parse(in io.Reader, instr Instructions, emit Emit) error 
 	// User instructions may add Const fields; the record shape is fixed.
 	fixed := mysqlSlowInstr
 	fixed.Const = instr.Const
-	return linesParser{}.parse(in, fixed, finishSlowRecord(emit, nil), nil)
+	_, err := linesParser{}.parse(in, fixed, 1, false, finishSlowRecord(emit, nil), nil)
+	return err
 }
 
 // ParseDegraded quarantines malformed slow-log input: structural damage is
@@ -55,7 +56,8 @@ func (mysqlSlowParser) ParseDegraded(in io.Reader, instr Instructions, emit Emit
 	}
 	fixed := mysqlSlowInstr
 	fixed.Const = instr.Const
-	return linesParser{}.parse(in, fixed, finishSlowRecord(emit, rec), rec)
+	_, err := linesParser{}.parse(in, fixed, 1, false, finishSlowRecord(emit, rec), rec)
+	return err
 }
 
 // finishSlowRecord wraps emit with the slow-log semantic stage: compute the

@@ -1,0 +1,284 @@
+package transform
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/gt-elba/milliscope/internal/mscopedb"
+	"github.com/gt-elba/milliscope/internal/parsers"
+)
+
+// writeSyntheticDir stages a small log directory covering both chunkable
+// formats (token, mysql-slow), a whole-file format, an unbound artifact,
+// and — when corrupt — damage in each chunkable format.
+func writeSyntheticDir(t *testing.T, corrupt bool) string {
+	t.Helper()
+	dir := t.TempDir()
+	apacheEvery, mysqlEvery := 0, 0
+	if corrupt {
+		apacheEvery, mysqlEvery = 9, 6
+	}
+	files := map[string][]byte{
+		"apache_access.log": apacheCorpus(400, apacheEvery),
+		"web2_access.log":   apacheCorpus(90, apacheEvery),
+		"mysql_slow.log":    mysqlCorpus(160, mysqlEvery),
+		"notes.txt":         []byte("operator scratch file\n"),
+	}
+	for name, data := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// dumpBytes snapshots the warehouse via its deterministic gob persistence.
+func dumpBytes(t *testing.T, db *mscopedb.DB) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "dump.db")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// readDirContents maps file name → content for a quarantine directory;
+// a missing directory is the empty map (nothing was quarantined).
+func readDirContents(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return out
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = string(data)
+	}
+	return out
+}
+
+// normalizeReport clears the fields that legitimately differ between the
+// two runs (the quarantine sinks live in per-run directories) and renders
+// failures comparably.
+func normalizeReport(rep Report) Report {
+	for i := range rep.Files {
+		if rep.Files[i].QuarantinePath != "" {
+			rep.Files[i].QuarantinePath = filepath.Base(rep.Files[i].QuarantinePath)
+		}
+	}
+	return rep
+}
+
+func reportsEqual(t *testing.T, serial, parallel Report) {
+	t.Helper()
+	s, p := normalizeReport(serial), normalizeReport(parallel)
+	if fmt.Sprintf("%+v", s.Files) != fmt.Sprintf("%+v", p.Files) {
+		t.Errorf("Files differ:\nserial   %+v\nparallel %+v", s.Files, p.Files)
+	}
+	if fmt.Sprintf("%+v", s.Loads) != fmt.Sprintf("%+v", p.Loads) {
+		t.Errorf("Loads differ:\nserial   %+v\nparallel %+v", s.Loads, p.Loads)
+	}
+	if fmt.Sprintf("%v", s.Skipped) != fmt.Sprintf("%v", p.Skipped) ||
+		fmt.Sprintf("%v", s.Unchanged) != fmt.Sprintf("%v", p.Unchanged) {
+		t.Errorf("Skipped/Unchanged differ: serial %v/%v parallel %v/%v",
+			s.Skipped, s.Unchanged, p.Skipped, p.Unchanged)
+	}
+	if len(s.Failed) != len(p.Failed) {
+		t.Fatalf("Failed counts differ: serial %d parallel %d", len(s.Failed), len(p.Failed))
+	}
+	for i := range s.Failed {
+		if s.Failed[i].Input != p.Failed[i].Input || s.Failed[i].Err.Error() != p.Failed[i].Err.Error() {
+			t.Errorf("Failed[%d] differs:\nserial   %s: %v\nparallel %s: %v",
+				i, s.Failed[i].Input, s.Failed[i].Err, p.Failed[i].Input, p.Failed[i].Err)
+		}
+	}
+}
+
+// runDifferential ingests logDir twice — serial and parallel with an
+// aggressively small chunk size — into fresh warehouses sharing one work
+// directory, and asserts byte-identical dumps plus identical reports,
+// quarantine sinks, and errors.
+func runDifferential(t *testing.T, logDir string, opts Options) {
+	t.Helper()
+	workDir := t.TempDir()
+	qS, qP := filepath.Join(t.TempDir(), "qs"), filepath.Join(t.TempDir(), "qp")
+
+	optsS := opts
+	optsS.Workers = 1
+	optsS.QuarantineDir = qS
+	dbS := mscopedb.Open()
+	repS, errS := IngestDirWithOptions(dbS, logDir, workDir, DefaultPlan(), optsS)
+
+	optsP := opts
+	optsP.Workers = 4
+	optsP.ChunkSize = 2 << 10
+	optsP.QuarantineDir = qP
+	dbP := mscopedb.Open()
+	repP, errP := IngestDirWithOptions(dbP, logDir, workDir, DefaultPlan(), optsP)
+
+	if (errS == nil) != (errP == nil) || (errS != nil && errS.Error() != errP.Error()) {
+		t.Fatalf("ingest errors differ:\nserial   %v\nparallel %v", errS, errP)
+	}
+	reportsEqual(t, repS, repP)
+	sinkS, sinkP := readDirContents(t, qS), readDirContents(t, qP)
+	if fmt.Sprintf("%v", sinkS) != fmt.Sprintf("%v", sinkP) {
+		t.Errorf("quarantine sinks differ:\nserial   %v\nparallel %v", sinkS, sinkP)
+	}
+	if ds, dp := dumpBytes(t, dbS), dumpBytes(t, dbP); string(ds) != string(dp) {
+		t.Errorf("warehouse dumps differ: serial %d bytes, parallel %d bytes", len(ds), len(dp))
+	}
+}
+
+func TestParallelIngestMatchesSerialClean(t *testing.T) {
+	logDir := writeSyntheticDir(t, false)
+	runDifferential(t, logDir, Options{})
+	runDifferential(t, logDir, Options{Policy: Quarantine})
+}
+
+func TestParallelIngestMatchesSerialCorrupted(t *testing.T) {
+	logDir := writeSyntheticDir(t, true)
+	// Generous budget: damage quarantines but files stay accepted.
+	runDifferential(t, logDir, Options{Policy: Quarantine, ErrorBudget: 0.5})
+	// Tight budget: some files are rejected; Failed lists must agree.
+	runDifferential(t, logDir, Options{Policy: Quarantine, ErrorBudget: 0.01})
+	// FailFast: both engines must abort with the identical first error and
+	// an identical (partial) warehouse.
+	runDifferential(t, logDir, Options{})
+}
+
+// TestParallelIngestLedgerEquivalence drives the restart-resume paths: an
+// unchanged re-ingest must skip every file, and a grown file must be
+// rebuilt — identically under both engines, with identical ledger offsets.
+func TestParallelIngestLedgerEquivalence(t *testing.T) {
+	logDir := writeSyntheticDir(t, false)
+	workDir := t.TempDir()
+	run := func(workers int) (*mscopedb.DB, []Report) {
+		db := mscopedb.Open()
+		var reps []Report
+		opts := Options{Workers: workers, ChunkSize: 2 << 10}
+		rep, err := IngestDirWithOptions(db, logDir, workDir, DefaultPlan(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps = append(reps, rep)
+		// Second pass: everything unchanged.
+		rep, err = IngestDirWithOptions(db, logDir, workDir, DefaultPlan(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps = append(reps, rep)
+		return db, reps
+	}
+
+	dbS, repsS := run(1)
+	dbP, repsP := run(4)
+	for i := range repsS {
+		reportsEqual(t, repsS[i], repsP[i])
+	}
+	if n := len(repsP[1].Unchanged); n != 3 {
+		t.Fatalf("second parallel pass skipped %d files, want 3", n)
+	}
+	for _, name := range []string{"apache_access.log", "mysql_slow.log"} {
+		full := filepath.Join(logDir, name)
+		offS, okS := dbS.LatestIngestOffset(full)
+		offP, okP := dbP.LatestIngestOffset(full)
+		if !okS || !okP || offS != offP {
+			t.Fatalf("ledger offsets for %s differ: serial %d/%v parallel %d/%v", name, offS, okS, offP, okP)
+		}
+	}
+	if ds, dp := dumpBytes(t, dbS), dumpBytes(t, dbP); string(ds) != string(dp) {
+		t.Error("warehouse dumps differ after re-ingest")
+	}
+
+	// Grow one source file; both engines must drop and rebuild its table.
+	f, err := os.OpenFile(filepath.Join(logDir, "mysql_slow.log"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := string(mysqlCorpus(10, 0))
+	// Strip the preamble the corpus helper repeats; appended logs carry
+	// records only.
+	if _, err := f.WriteString(extra[strings.Index(extra, "# Time:"):]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	repS2, errS := IngestDirWithOptions(dbS, logDir, workDir, DefaultPlan(), Options{Workers: 1, ChunkSize: 2 << 10})
+	repP2, errP := IngestDirWithOptions(dbP, logDir, workDir, DefaultPlan(), Options{Workers: 4, ChunkSize: 2 << 10})
+	if errS != nil || errP != nil {
+		t.Fatalf("rebuild ingests failed: serial %v parallel %v", errS, errP)
+	}
+	reportsEqual(t, repS2, repP2)
+	if len(repS2.Loads) != 1 || repS2.Loads[0].Table != "mysql_event" {
+		t.Fatalf("expected only mysql_event rebuilt, got %+v", repS2.Loads)
+	}
+	if ds, dp := dumpBytes(t, dbS), dumpBytes(t, dbP); string(ds) != string(dp) {
+		t.Error("warehouse dumps differ after rebuild")
+	}
+}
+
+// TestQuarantineSinkConcurrentRecord hammers one sink from many
+// goroutines under -race: the count must be exact and every record whole.
+func TestQuarantineSinkConcurrentRecord(t *testing.T) {
+	dir := t.TempDir()
+	sink := &quarantineSink{dir: dir, base: "hammer.log"}
+	const workers, perWorker = 16, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				m := parsers.Malformed{
+					Line: w*perWorker + i + 1,
+					Text: fmt.Sprintf("worker %d line %d", w, i),
+					Err:  fmt.Errorf("synthetic damage %d/%d", w, i),
+				}
+				if err := sink.record(m); err != nil {
+					t.Errorf("record: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := sink.close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.count(); got != workers*perWorker {
+		t.Fatalf("sink counted %d regions, want %d", got, workers*perWorker)
+	}
+	data, err := os.ReadFile(sink.path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) != 2*workers*perWorker {
+		t.Fatalf("sink holds %d lines, want %d", len(lines), 2*workers*perWorker)
+	}
+	// Records must be whole: comment line and payload line alternate.
+	for i := 0; i < len(lines); i += 2 {
+		if !strings.HasPrefix(lines[i], "# hammer.log:") {
+			t.Fatalf("line %d is not a located comment: %q", i, lines[i])
+		}
+		if !strings.HasPrefix(lines[i+1], "worker ") {
+			t.Fatalf("line %d is not a payload: %q", i+1, lines[i+1])
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 
 	"github.com/gt-elba/milliscope/internal/importer"
 	"github.com/gt-elba/milliscope/internal/mscopedb"
@@ -70,6 +71,14 @@ type Options struct {
 	// QuarantineDir receives the per-file quarantine sinks; empty means
 	// "<workDir>/quarantine".
 	QuarantineDir string
+	// Workers caps ingest concurrency. 0 and 1 select the serial pipeline;
+	// >1 selects the parallel sharded engine, which is proven row-for-row
+	// equivalent to serial by the differential conformance suite.
+	Workers int
+	// ChunkSize is the target shard size in bytes when splitting one large
+	// file across workers; zero means DefaultChunkSize. Files smaller than
+	// two chunks are parsed whole.
+	ChunkSize int
 }
 
 // ErrFileRejected marks a per-file quarantine-mode rejection: the file's
@@ -102,16 +111,24 @@ func (o Options) quarantineDir(workDir string) string {
 }
 
 // quarantineSink lazily creates "<dir>/<base>.quarantine" and records each
-// diverted region as a located comment line followed by the raw text.
+// diverted region as a located comment line followed by the raw text. The
+// mutex makes record safe to call from concurrent parsers (the parallel
+// ingest re-parses torn shards while neighbors are still running); entries
+// stay whole, though cross-goroutine interleaving order is up to the
+// caller to control where byte-identical sinks matter.
 type quarantineSink struct {
 	dir  string
 	base string
-	f    *os.File
-	w    *bufio.Writer
-	n    int
+
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+	n  int
 }
 
 func (q *quarantineSink) record(m parsers.Malformed) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	if q.f == nil {
 		if err := os.MkdirAll(q.dir, 0o755); err != nil {
 			return fmt.Errorf("transform: create quarantine dir: %w", err)
@@ -134,13 +151,24 @@ func (q *quarantineSink) record(m parsers.Malformed) error {
 
 // path returns the sink file path, or "" when nothing was quarantined.
 func (q *quarantineSink) path() string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	if q.f == nil {
 		return ""
 	}
 	return filepath.Join(q.dir, q.base+".quarantine")
 }
 
+// count returns how many regions have been recorded.
+func (q *quarantineSink) count() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
 func (q *quarantineSink) close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	if q.f == nil {
 		return nil
 	}
@@ -208,18 +236,28 @@ func transformFileDegraded(path string, b Binding, workDir string, opts Options)
 	}
 	out = FileResult{Input: path, Parser: b.Parser, Table: table,
 		MXMLPath: mxmlPath, Entries: w.Entries(),
-		Quarantined: sink.n, QuarantinePath: sink.path()}
+		Quarantined: sink.count(), QuarantinePath: sink.path()}
+	if err := opts.checkBudget(out, path); err != nil {
+		return out, err
+	}
+	return out, nil
+}
 
+// checkBudget applies the quarantine-mode acceptance tests to a transformed
+// file: reject (wrapping ErrFileRejected) when nothing survived or the
+// corrupt-region ratio exceeds the error budget. Shared by the serial and
+// parallel pipelines so both reject with byte-identical errors.
+func (o Options) checkBudget(out FileResult, path string) error {
 	if out.Entries == 0 {
-		return out, fmt.Errorf("transform: %s: %w: no records survived (%d quarantined)",
+		return fmt.Errorf("transform: %s: %w: no records survived (%d quarantined)",
 			path, ErrFileRejected, out.Quarantined)
 	}
 	total := out.Entries + out.Quarantined
-	if ratio := float64(out.Quarantined) / float64(total); ratio > opts.budget() {
-		return out, fmt.Errorf("transform: %s: %w: corrupt-line ratio %.4f exceeds error budget %.4f (%d of %d regions quarantined)",
-			path, ErrFileRejected, ratio, opts.budget(), out.Quarantined, total)
+	if ratio := float64(out.Quarantined) / float64(total); ratio > o.budget() {
+		return fmt.Errorf("transform: %s: %w: corrupt-line ratio %.4f exceeds error budget %.4f (%d of %d regions quarantined)",
+			path, ErrFileRejected, ratio, o.budget(), out.Quarantined, total)
 	}
-	return out, nil
+	return nil
 }
 
 // IngestDirWithOptions is the policy-aware ingest. Under FailFast it is
@@ -228,6 +266,9 @@ func transformFileDegraded(path string, b Binding, workDir string, opts Options)
 // directory, conversion or warehouse-load failures on accepted records)
 // remain fatal under both policies.
 func IngestDirWithOptions(db *mscopedb.DB, logDir, workDir string, plan *Plan, opts Options) (Report, error) {
+	if opts.Workers > 1 {
+		return ingestDirParallel(db, logDir, workDir, plan, opts)
+	}
 	var rep Report
 	entries, err := os.ReadDir(logDir)
 	if err != nil {
