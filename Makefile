@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race race-short bench bench-check cover fuzz chaos live-smoke experiment clean
+.PHONY: all build vet selfobs-lint test test-short race race-short bench bench-check overhead-check cover fuzz chaos live-smoke experiment clean
 
-all: build vet race-short live-smoke test bench-check
+all: build vet selfobs-lint race-short live-smoke test bench-check overhead-check
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,20 @@ bench-check:
 	$(GO) test -run xxx -bench 'BenchmarkIngestBatch|BenchmarkIngestParallel|BenchmarkIngestStreaming' \
 		-benchtime 5x -benchmem . 2>&1 | tee bench_output.txt
 	$(GO) run ./cmd/benchcheck --input bench_output.txt BENCH_ingest.json BENCH_stream.json
+
+# Self-observability budget gate: paired instrumented-vs-disabled ingests
+# of the same corpus; fails if the median overhead exceeds the absolute
+# 3% ceiling in BENCH_selfobs.json.
+overhead-check:
+	$(GO) test -run xxx -bench BenchmarkSelfObsOverhead -benchtime 3x . 2>&1 | tee selfobs_bench_output.txt
+	$(GO) run ./cmd/benchcheck --input selfobs_bench_output.txt BENCH_selfobs.json
+
+# Hot-path telemetry lint: files on the per-record ingest/stream paths may
+# only touch internal/selfobs through its no-op-able API (NewBuf / Begin /
+# counters), never through formatting helpers that would allocate when
+# telemetry is disabled.
+selfobs-lint:
+	$(GO) run ./cmd/selfobslint ./internal/transform ./internal/stream
 
 cover:
 	$(GO) test -short -cover ./...

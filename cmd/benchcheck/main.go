@@ -5,9 +5,15 @@
 // direction-aware — ns/op regresses upward, rows/s regresses downward —
 // and improvements always pass (refresh the baseline to lock them in).
 //
+// A baseline may also declare "ceilings": absolute upper bounds enforced
+// with no tolerance, for metrics that are budgets rather than measured
+// baselines (BENCH_selfobs.json caps the self-telemetry overhead_pct at
+// 3). A measured value above its ceiling fails regardless of any prior
+// run's value.
+//
 // Usage:
 //
-//	benchcheck --input bench_output.txt [--tolerance 0.20] BENCH_ingest.json [BENCH_stream.json ...]
+//	benchcheck --input bench_output.txt [--tolerance 0.20] BENCH_ingest.json [BENCH_selfobs.json ...]
 package main
 
 import (
@@ -29,7 +35,10 @@ type baseline struct {
 	Command    string                        `json:"command"`
 	CPU        string                        `json:"cpu"`
 	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
-	Headline   string                        `json:"headline"`
+	// Ceilings are absolute upper bounds per benchmark/metric, enforced
+	// without tolerance — a budget, not a drifting baseline.
+	Ceilings map[string]map[string]float64 `json:"ceilings"`
+	Headline string                        `json:"headline"`
 }
 
 // UnmarshalJSON tolerates non-numeric fields (like "notes") inside each
@@ -41,12 +50,14 @@ func (b *baseline) UnmarshalJSON(data []byte) error {
 		Command    string                            `json:"command"`
 		CPU        string                            `json:"cpu"`
 		Benchmarks map[string]map[string]interface{} `json:"benchmarks"`
+		Ceilings   map[string]map[string]float64     `json:"ceilings"`
 		Headline   string                            `json:"headline"`
 	}
 	if err := json.Unmarshal(data, &raw); err != nil {
 		return err
 	}
 	b.Date, b.Corpus, b.Command, b.CPU, b.Headline = raw.Date, raw.Corpus, raw.Command, raw.CPU, raw.Headline
+	b.Ceilings = raw.Ceilings
 	b.Benchmarks = map[string]map[string]float64{}
 	for name, metrics := range raw.Benchmarks {
 		b.Benchmarks[name] = map[string]float64{}
@@ -68,11 +79,14 @@ var checkedMetrics = map[string]bool{
 
 // unitToKey maps a `go test -bench` unit to the baseline metric key.
 var unitToKey = map[string]string{
-	"ns/op":     "ns_per_op",
-	"rows/s":    "rows_per_sec",
-	"rows":      "rows",
-	"B/op":      "bytes_per_op",
-	"allocs/op": "allocs_per_op",
+	"ns/op":           "ns_per_op",
+	"rows/s":          "rows_per_sec",
+	"rows":            "rows",
+	"B/op":            "bytes_per_op",
+	"allocs/op":       "allocs_per_op",
+	"overhead_pct":    "overhead_pct",
+	"disabled_ns":     "disabled_ns",
+	"instrumented_ns": "instrumented_ns",
 }
 
 // parseBenchOutput extracts value/unit pairs from benchmark result lines:
@@ -141,6 +155,24 @@ func check(base baseline, got map[string]map[string]float64, tol float64) []stri
 			if !lowerBetter && ratio < 1-tol {
 				fails = append(fails, fmt.Sprintf("%s: %s regressed %.1f%% (%.0f -> %.0f, tolerance %.0f%%)",
 					name, key, (1-ratio)*100, baseVal, gotVal, tol*100))
+			}
+		}
+	}
+	for name, bounds := range base.Ceilings {
+		m, ok := got[name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: missing from bench output", name))
+			continue
+		}
+		for key, ceil := range bounds {
+			gotVal, ok := m[key]
+			if !ok {
+				fails = append(fails, fmt.Sprintf("%s: metric %s missing from bench output", name, key))
+				continue
+			}
+			if gotVal > ceil {
+				fails = append(fails, fmt.Sprintf("%s: %s = %.2f exceeds absolute ceiling %.2f",
+					name, key, gotVal, ceil))
 			}
 		}
 	}

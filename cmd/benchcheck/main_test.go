@@ -12,6 +12,7 @@ pkg: github.com/gt-elba/milliscope
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkIngestBatch-4    	       3	2000000000 ns/op	     36406 rows	     18000 rows/s	602993525 B/op	14823200 allocs/op
 BenchmarkIngestParallel   	       3	1000000000 ns/op	     36406 rows	     36000 rows/s
+BenchmarkSelfObsOverhead-4	       3	4000000000 ns/op	         1.750 overhead_pct	1950000000 disabled_ns	1990000000 instrumented_ns
 PASS
 ok  	github.com/gt-elba/milliscope	20.847s
 `
@@ -27,8 +28,11 @@ func parse(t *testing.T) map[string]map[string]float64 {
 
 func TestParseBenchOutput(t *testing.T) {
 	got := parse(t)
-	if len(got) != 2 {
-		t.Fatalf("parsed %d benchmarks, want 2", len(got))
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(got))
+	}
+	if pct := got["BenchmarkSelfObsOverhead"]["overhead_pct"]; pct != 1.75 {
+		t.Errorf("overhead_pct = %v, want 1.75", pct)
 	}
 	// The -4 GOMAXPROCS suffix must be stripped.
 	batch, ok := got["BenchmarkIngestBatch"]
@@ -90,6 +94,44 @@ func TestCheckUntrackedMetricsIgnored(t *testing.T) {
 	}}
 	if fails := check(base, parse(t), 0.20); len(fails) != 0 {
 		t.Fatalf("untracked metrics gated the check: %v", fails)
+	}
+}
+
+func TestCheckCeilings(t *testing.T) {
+	got := parse(t)
+	mk := func(bench, key string, ceil float64) baseline {
+		return baseline{Ceilings: map[string]map[string]float64{bench: {key: ceil}}}
+	}
+	cases := []struct {
+		name  string
+		base  baseline
+		fails int
+	}{
+		{"under ceiling passes", mk("BenchmarkSelfObsOverhead", "overhead_pct", 3.0), 0},
+		{"exact ceiling passes", mk("BenchmarkSelfObsOverhead", "overhead_pct", 1.75), 0},
+		{"over ceiling fails", mk("BenchmarkSelfObsOverhead", "overhead_pct", 1.0), 1},
+		{"missing benchmark fails", mk("BenchmarkGone", "overhead_pct", 3.0), 1},
+		{"missing metric fails", mk("BenchmarkSelfObsOverhead", "nope", 3.0), 1},
+	}
+	for _, tc := range cases {
+		if fails := check(tc.base, got, 0.20); len(fails) != tc.fails {
+			t.Errorf("%s: %d failures, want %d: %v", tc.name, len(fails), tc.fails, fails)
+		}
+	}
+	// Ceilings are absolute: tolerance must not loosen them.
+	if fails := check(mk("BenchmarkSelfObsOverhead", "overhead_pct", 1.0), got, 10.0); len(fails) != 1 {
+		t.Errorf("tolerance loosened a ceiling: %v", fails)
+	}
+}
+
+func TestBaselineUnmarshalCeilings(t *testing.T) {
+	var b baseline
+	blob := `{"ceilings":{"BenchmarkSelfObsOverhead":{"overhead_pct":3.0}}}`
+	if err := b.UnmarshalJSON([]byte(blob)); err != nil {
+		t.Fatal(err)
+	}
+	if b.Ceilings["BenchmarkSelfObsOverhead"]["overhead_pct"] != 3.0 {
+		t.Fatalf("ceilings lost: %v", b.Ceilings)
 	}
 }
 

@@ -27,6 +27,10 @@ func cmdLive(args []string) error {
 	poll := fs.Duration("poll", 10*time.Millisecond, "tailer poll interval")
 	grace := fs.Duration("grace", 0, "classification grace past the watermark (default 2s)")
 	httpAddr := fs.String("http", "", "serve /status /alerts /metrics on this address (e.g. :8080)")
+	debugAddr := fs.String("debug-addr", "",
+		"serve /debug/pprof and /debug/vars on this address (kept off the metrics listener)")
+	selfLog := fs.String("self-log", "",
+		"write milliScope's own span telemetry to this file (or directory) as an ingestable log")
 	chaosRate := fs.Float64("chaos-rate", 0, "per-line fault probability injected into the tailed stream")
 	chaosSeed := fs.Int64("chaos-seed", 1, "chaos corruption seed")
 	budget := fs.Float64("budget", 0, "quarantine error budget per source (0 = default 5%)")
@@ -43,6 +47,9 @@ func cmdLive(args []string) error {
 	}
 	if *speed <= 0 {
 		return fmt.Errorf("live: --speed must be positive")
+	}
+	if *selfLog != "" {
+		defer startSelfObs("live", *selfLog)()
 	}
 
 	stageDir := filepath.Join(*out, "stage")
@@ -111,12 +118,25 @@ func cmdLive(args []string) error {
 		go func() { _ = srv.Serve(ln) }()
 		fmt.Printf("serving /status /alerts /metrics on %s\n", ln.Addr())
 	}
+	var dbgSrv *http.Server
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("live: debug listener: %w", err)
+		}
+		dbgSrv = &http.Server{Handler: milliscope.LiveDebugHandler(pipe)}
+		go func() { _ = dbgSrv.Serve(ln) }()
+		fmt.Printf("serving /debug/pprof /debug/vars on %s\n", ln.Addr())
+	}
 
 	pipe.Start()
 	replayErr := producer.Run()
 	stopErr := pipe.Stop()
 	if srv != nil {
 		_ = srv.Close()
+	}
+	if dbgSrv != nil {
+		_ = dbgSrv.Close()
 	}
 	if replayErr != nil {
 		return replayErr

@@ -57,6 +57,8 @@ func run(args []string) error {
 		return cmdDiagnose(args[1:])
 	case "trace":
 		return cmdTrace(args[1:])
+	case "selftrace":
+		return cmdSelfTrace(args[1:])
 	case "experiment":
 		return cmdExperiment(args[1:])
 	case "help", "-h", "--help":
@@ -83,6 +85,8 @@ commands:
   report     render a paper figure from a warehouse file
   diagnose   detect VLRT windows and name their root causes
   trace      render one request's causal path (Figure 5)
+  selftrace  per-stage critical-path breakdown of milliScope's own
+             telemetry (ingest a log produced with --self-log first)
   experiment run + ingest + report for every paper figure`)
 }
 
@@ -218,11 +222,16 @@ func cmdIngest(args []string) error {
 	qdir := fs.String("quarantine", "", "quarantine sink directory (default: WORK/quarantine)")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"parallel ingest workers (1 = serial; output is identical either way)")
+	selfLog := fs.String("self-log", "",
+		"write milliScope's own span telemetry to this file (or directory) as an ingestable log")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *logs == "" || *work == "" || *dbPath == "" {
 		return fmt.Errorf("ingest: --logs, --work and --db are required")
+	}
+	if *selfLog != "" {
+		defer startSelfObs("ingest", *selfLog)()
 	}
 	if *workers < 1 {
 		return fmt.Errorf("ingest: --workers must be >= 1")

@@ -73,6 +73,9 @@ func TestCommandDispatchErrors(t *testing.T) {
 	if err := run([]string{"trace"}); err == nil {
 		t.Fatal("trace without --db accepted")
 	}
+	if err := run([]string{"selftrace"}); err == nil {
+		t.Fatal("selftrace without --db accepted")
+	}
 	if err := run([]string{"experiment"}); err == nil {
 		t.Fatal("experiment without --out accepted")
 	}
@@ -120,6 +123,53 @@ func TestCLIPipeline(t *testing.T) {
 	}
 	if err := run([]string{"report", "--db", dbPath, "--figure", "fig2", "--format", "nope"}); err == nil {
 		t.Fatal("unknown format accepted")
+	}
+}
+
+// TestCLISelfTelemetryDogfood closes the self-observability loop through
+// the real CLI: an instrumented ingest writes its own telemetry as a
+// milliScope-native log, a second ingest loads that log through the very
+// pipeline it describes, and selftrace renders the breakdown.
+func TestCLISelfTelemetryDogfood(t *testing.T) {
+	base := t.TempDir()
+	logs := filepath.Join(base, "logs")
+	dbPath := filepath.Join(base, "w.db")
+	selfDir := filepath.Join(base, "self")
+	if err := os.MkdirAll(selfDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"run", "--scenario", "dbio", "--out", logs,
+		"--users", "40", "--duration", "4s"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"ingest", "--logs", logs, "--work", filepath.Join(base, "work"),
+		"--db", dbPath, "--workers", "4", "--self-log", selfDir}); err != nil {
+		t.Fatalf("instrumented ingest: %v", err)
+	}
+	selfLog := filepath.Join(selfDir, "mscope_selftrace.log")
+	if st, err := os.Stat(selfLog); err != nil || st.Size() == 0 {
+		t.Fatalf("self-log not written: %v", err)
+	}
+	if err := run([]string{"ingest", "--logs", selfDir, "--work", filepath.Join(base, "work2"),
+		"--db", dbPath}); err != nil {
+		t.Fatalf("telemetry ingest: %v", err)
+	}
+	db, err := milliscope.LoadDB(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches, err := milliscope.SelfTraceBreakdown(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 1 {
+		t.Fatalf("got %d batches, want 1", len(batches))
+	}
+	if b := batches[0]; b.Table != "mscope_selftrace" || b.Spans == 0 || len(b.Stages) == 0 {
+		t.Fatalf("batch %+v", b)
+	}
+	if err := run([]string{"selftrace", "--db", dbPath}); err != nil {
+		t.Fatalf("selftrace: %v", err)
 	}
 }
 

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/gt-elba/milliscope"
+)
+
+// selfLogPath resolves the --self-log flag value: a directory (existing,
+// or a path ending in a separator) gets the default file name appended so
+// the host prefix is "mscope" and the built-in Parsing Declaration's
+// *_selftrace.log binding routes it.
+func selfLogPath(p string) string {
+	if st, err := os.Stat(p); (err == nil && st.IsDir()) || os.IsPathSeparator(p[len(p)-1]) {
+		return filepath.Join(p, "mscope_selftrace.log")
+	}
+	return p
+}
+
+// startSelfObs enables self-telemetry for one CLI run and returns the
+// function that flushes it to path when the run finishes.
+func startSelfObs(pipeline, path string) func() {
+	now := time.Now().UTC()
+	batch := pipeline + "-" + now.Format("20060102T150405.000000000")
+	c := milliscope.SelfObsEnable(batch, now)
+	return func() {
+		milliscope.SelfObsDisable()
+		dst := selfLogPath(path)
+		n, err := milliscope.WriteSelfLog(c, dst)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mscope: self-log: %v\n", err)
+			return
+		}
+		fmt.Printf("self-telemetry: %d spans in %s (batch %s)\n"+
+			"  ingest it and run `mscope selftrace` for the breakdown\n", n, dst, batch)
+	}
+}
+
+// cmdSelfTrace renders the per-batch critical-path breakdown of
+// milliScope's own telemetry from *_selftrace warehouse tables.
+func cmdSelfTrace(args []string) error {
+	fs := flag.NewFlagSet("selftrace", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "warehouse file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" {
+		return fmt.Errorf("selftrace: --db is required")
+	}
+	db, err := milliscope.LoadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	batches, err := milliscope.SelfTraceBreakdown(db)
+	if err != nil {
+		return err
+	}
+	return milliscope.RenderSelfTrace(os.Stdout, batches)
+}

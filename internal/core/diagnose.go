@@ -8,6 +8,7 @@ import (
 	"github.com/gt-elba/milliscope/internal/metrics"
 	"github.com/gt-elba/milliscope/internal/mscopedb"
 	"github.com/gt-elba/milliscope/internal/resources"
+	"github.com/gt-elba/milliscope/internal/selfobs"
 )
 
 // CauseKind classifies a diagnosed root cause.
@@ -247,28 +248,38 @@ func ClassifyWindow(ev *Evidence, w analysis.Window) WindowDiagnosis {
 // contributes no resource candidates, and each absence is recorded in
 // Diagnosis.MissingSources instead of failing the run.
 func Diagnose(db *mscopedb.DB, window time.Duration) (*Diagnosis, error) {
+	obs := selfobs.NewBuf()
+	defer obs.Close()
 	tbl, err := db.Table("apache_event")
 	if err != nil {
 		return nil, err
 	}
+	sp := obs.Begin(selfobs.PipeDiagnose, "pit", "-", "")
 	pit, err := metrics.PointInTimeRT(tbl, window)
 	if err != nil {
 		return nil, err
 	}
+	sp.End(int64(pit.Requests), 0)
 	out := &Diagnosis{PIT: pit}
+	sp = obs.Begin(selfobs.PipeDiagnose, "vlrt", "-", "")
 	vlrts := analysis.DetectVLRTWindows(pit.Series, pit.AvgUS, VLRTFactor, MaxVSBDuration)
+	sp.End(int64(len(vlrts)), 0)
 	if len(vlrts) == 0 {
 		return out, nil
 	}
 
+	sp = obs.Begin(selfobs.PipeDiagnose, "evidence", "-", "")
 	ev, missing, err := BuildEvidence(db, window)
 	out.MissingSources = missing
 	if err != nil {
 		return nil, err
 	}
+	sp.End(int64(len(ev.Candidates)), int64(len(missing)))
+	sp = obs.Begin(selfobs.PipeDiagnose, "classify", "-", "")
 	for _, w := range vlrts {
 		out.Windows = append(out.Windows, ClassifyWindow(ev, w))
 	}
+	sp.End(int64(len(out.Windows)), 0)
 	return out, nil
 }
 

@@ -140,6 +140,8 @@ func Get(name string) (Parser, error) {
 		return collectlCSVParser{}, nil
 	case "pidstat":
 		return pidstatParser{}, nil
+	case "selftrace":
+		return selftraceParser{}, nil
 	default:
 		return nil, fmt.Errorf("parsers: unknown parser %q", name)
 	}
@@ -148,7 +150,7 @@ func Get(name string) (Parser, error) {
 // Names lists every registered parser.
 func Names() []string {
 	return []string{"token", "lines", "mysql-slow", "sar", "sar-xml",
-		"iostat", "collectl", "collectl-csv", "pidstat"}
+		"iostat", "collectl", "collectl-csv", "pidstat", "selftrace"}
 }
 
 // applyCommon applies Derive rules, Times normalization and Const fields

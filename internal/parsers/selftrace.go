@@ -1,0 +1,60 @@
+package parsers
+
+import (
+	"io"
+	"time"
+)
+
+// selftraceParser parses milliScope's own telemetry log (internal/selfobs
+// emits it, see selfobs.FormatLine): one space-separated token line per
+// span or counter snapshot. The format is fixed by the emitter, so —
+// like the slow-log parser — the parser carries its own instruction set
+// and honors only the caller's Const fields. It is a thin veneer over the
+// generic token machinery, which gives it degraded mode and sharded
+// parsing for free (every line is an independent record).
+type selftraceParser struct{}
+
+var _ Parser = selftraceParser{}
+var _ DegradedParser = selftraceParser{}
+var _ ChunkParser = selftraceParser{}
+
+// SelfTraceInstructions declares the self-telemetry log line. Exported so
+// tests and custom pipelines can reuse the grammar, mirroring
+// ApacheInstructions.
+func SelfTraceInstructions() Instructions {
+	return Instructions{
+		Pattern: `^(?P<ltime>\S+) mscope-self kind=(?P<kind>span|counter) batch=(?P<batch>\S+) pipeline=(?P<pipeline>\S+) stage=(?P<stage>\S+) span=(?P<span>\S+) file=(?P<file>\S+) dur_us=(?P<dur_us>\d+) items=(?P<items>-?\d+) errs=(?P<errs>\d+)$`,
+		Times: []TimeRule{
+			{Field: "ltime", Layout: time.RFC3339Nano},
+		},
+	}
+}
+
+func (selftraceParser) Name() string { return "selftrace" }
+
+// fixed returns the canonical instructions with the caller's Const fields
+// merged in (the transformer injects the host there).
+func (selftraceParser) fixed(instr Instructions) Instructions {
+	f := SelfTraceInstructions()
+	f.Const = instr.Const
+	return f
+}
+
+func (p selftraceParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
+	_, err := tokenParser{}.parse(in, p.fixed(instr), 1, emit, nil)
+	return err
+}
+
+func (p selftraceParser) ParseDegraded(in io.Reader, instr Instructions, emit Emit, rec Recover) error {
+	_, err := tokenParser{}.parse(in, p.fixed(instr), 1, emit, rec)
+	return err
+}
+
+// Chunkable: single-line records, any line boundary is a safe cut.
+func (selftraceParser) Chunkable(Instructions) (Boundary, bool) {
+	return Boundary{}, true
+}
+
+func (p selftraceParser) ParseChunk(in io.Reader, instr Instructions, startLine int, mid bool, emit Emit, rec Recover) ([]TailLine, error) {
+	return tokenParser{}.parse(in, p.fixed(instr), startLine, emit, rec)
+}

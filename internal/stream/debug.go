@@ -1,0 +1,57 @@
+package stream
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// Runtime introspection for the live pipeline: Go's pprof profiles and
+// expvar counters, opt-in behind `mscope live --debug-addr`. These are
+// deliberately NOT registered on the metrics/status mux — profiling
+// endpoints can stall the process and must never be exposed on the same
+// listener operators scrape — and not on http.DefaultServeMux either, so
+// merely importing this package opens nothing.
+
+// debugPipeline is the pipeline the expvar callbacks snapshot. expvar
+// publication is process-global and permanent (Publish panics on
+// duplicates), so the vars are registered once and indirect through this
+// pointer; the latest DebugHandler call wins.
+var (
+	debugPipeline atomic.Pointer[Pipeline]
+	publishOnce   sync.Once
+)
+
+func publishVars() {
+	status := func(f func(Status) any) expvar.Func {
+		return func() any {
+			p := debugPipeline.Load()
+			if p == nil {
+				return nil
+			}
+			return f(p.Status())
+		}
+	}
+	expvar.Publish("mscope_live_rows", status(func(st Status) any { return st.Rows }))
+	expvar.Publish("mscope_live_quarantined", status(func(st Status) any { return st.Quarantined }))
+	expvar.Publish("mscope_live_alerts", status(func(st Status) any { return st.Alerts }))
+	expvar.Publish("mscope_live_lag_us", status(func(st Status) any { return st.LagUS }))
+	expvar.Publish("mscope_live_sources", status(func(st Status) any { return st.Sources }))
+}
+
+// DebugHandler returns a mux serving /debug/pprof/* and /debug/vars for
+// the given pipeline. Serve it on its own listener.
+func DebugHandler(p *Pipeline) http.Handler {
+	debugPipeline.Store(p)
+	publishOnce.Do(publishVars)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}

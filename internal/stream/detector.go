@@ -46,7 +46,7 @@ type detector struct {
 	windowUS int64
 	graceUS  int64
 
-	buckets map[int64]float64 // bucket start → max RT µs
+	buckets  map[int64]float64 // bucket start → max RT µs
 	loB, hiB int64
 	haveB    bool
 	sumRT    float64

@@ -17,17 +17,18 @@ type SourceStatus struct {
 	Offset      int64  `json:"offset"`
 	Rows        int64  `json:"rows"`
 	Quarantined int64  `json:"quarantined"`
+	ParseErrors int64  `json:"parse_errors"`
 	Rotations   int64  `json:"rotations"`
 	FrontierUS  int64  `json:"frontier_us"`
 }
 
 // Status is a point-in-time snapshot of the pipeline.
 type Status struct {
-	Running        bool           `json:"running"`
-	StartedWall    time.Time      `json:"started"`
-	WindowMS       float64        `json:"window_ms"`
-	LowWatermarkUS int64          `json:"low_watermark_us"`
-	MaxFrontierUS  int64          `json:"max_frontier_us"`
+	Running        bool      `json:"running"`
+	StartedWall    time.Time `json:"started"`
+	WindowMS       float64   `json:"window_ms"`
+	LowWatermarkUS int64     `json:"low_watermark_us"`
+	MaxFrontierUS  int64     `json:"max_frontier_us"`
 	// LagUS is the event-time spread between the fastest source and the
 	// low watermark — how far behind the slowest tier is reporting.
 	LagUS       int64          `json:"lag_us"`
@@ -75,6 +76,7 @@ func (p *Pipeline) Status() Status {
 			Offset:      s.tail.Committed(),
 			Rows:        s.rows.Load(),
 			Quarantined: s.quarantined.Load(),
+			ParseErrors: s.parseErrs.Load(),
 			Rotations:   s.tail.Rotations(),
 			FrontierUS:  s.frontierUS.Load(),
 		}
@@ -131,10 +133,26 @@ func (p *Pipeline) MetricsText() string {
 	g("low_watermark_us", float64(st.LowWatermarkUS), "event time all tiers have reported past")
 	g("pipeline_lag_us", float64(st.LagUS), "event-time spread between fastest source and watermark")
 	g("queued_records", float64(st.Queued), "records buffered between parsers and loader")
-	for _, s := range st.Sources {
-		fmt.Fprintf(&b, "mscope_source_offset_bytes{file=%q} %d\n", s.File, s.Offset)
-		fmt.Fprintf(&b, "mscope_source_rows{file=%q} %d\n", s.File, s.Rows)
+	// Per-source families. The exposition format requires each family's
+	// # HELP/# TYPE header exactly once, before all of its samples — so the
+	// samples are grouped by family, not by source.
+	family := func(name, typ, help string, value func(SourceStatus) int64) {
+		if len(st.Sources) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "# HELP mscope_%s %s\n# TYPE mscope_%s %s\n", name, help, name, typ)
+		for _, s := range st.Sources {
+			fmt.Fprintf(&b, "mscope_%s{file=%q} %d\n", name, s.File, value(s))
+		}
 	}
+	family("source_offset_bytes", "gauge", "bytes of the source consumed by the tailer",
+		func(s SourceStatus) int64 { return s.Offset })
+	family("source_rows", "gauge", "warehouse rows appended from the source",
+		func(s SourceStatus) int64 { return s.Rows })
+	family("source_quarantined_total", "counter", "malformed regions diverted from the source",
+		func(s SourceStatus) int64 { return s.Quarantined })
+	family("source_parse_errors_total", "counter", "unrecoverable parser failures on the source",
+		func(s SourceStatus) int64 { return s.ParseErrors })
 	return b.String()
 }
 

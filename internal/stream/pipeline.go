@@ -15,8 +15,17 @@ import (
 	"github.com/gt-elba/milliscope/internal/mscopedb"
 	"github.com/gt-elba/milliscope/internal/mxml"
 	"github.com/gt-elba/milliscope/internal/parsers"
+	"github.com/gt-elba/milliscope/internal/selfobs"
 	"github.com/gt-elba/milliscope/internal/simtime"
 	"github.com/gt-elba/milliscope/internal/transform"
+)
+
+// Self-telemetry counters for the per-record loader stages, where even a
+// buffered span per row would dominate the work being measured. They
+// no-op unless a selfobs collector is enabled.
+var (
+	obsRowsAppended   = selfobs.NewCounter(selfobs.PipeLive, "append", "rows_appended")
+	obsWatermarkMoves = selfobs.NewCounter(selfobs.PipeLive, "watermark", "advances")
 )
 
 // Config parameterizes a live pipeline. Zero values select defaults.
@@ -195,6 +204,8 @@ func (p *Pipeline) Alerts() []Alert {
 // parser pipes, join the parsers, and close the record channel so the
 // loader can finish.
 func (p *Pipeline) tailLoop() {
+	obs := selfobs.NewBuf()
+	defer obs.Close()
 	ticker := time.NewTicker(p.cfg.Poll)
 	defer ticker.Stop()
 	for {
@@ -216,7 +227,13 @@ func (p *Pipeline) tailLoop() {
 			return
 		case <-ticker.C:
 			p.scan()
-			p.pollAll()
+			// The span is recorded only for cycles that moved bytes; an
+			// un-Ended span is discarded for free, so idle polls cost
+			// nothing in the telemetry either.
+			sp := obs.Begin(selfobs.PipeLive, "tail", "poll", "")
+			if n := p.pollAll(); n > 0 {
+				sp.End(int64(n), 0)
+			}
 		}
 	}
 }
@@ -357,21 +374,31 @@ func isClosedPipe(err error) bool {
 // skipped with the same record-boundary resync the batch quarantine uses.
 func (p *Pipeline) runParser(s *source, pr *io.PipeReader) {
 	defer p.parserWG.Done()
+	obs := selfobs.NewBuf()
+	defer obs.Close()
+	var emitted int64
 	emit := func(e mxml.Entry) error {
 		p.recs <- rec{src: s, entry: e}
+		emitted++
 		return nil
 	}
 	sink := func(parsers.Malformed) error {
 		s.quarantined.Add(1)
 		return nil
 	}
+	// One span covers the source's whole parse: its duration is the
+	// source's lifetime (the parser blocks on the pipe between polls), so
+	// the interesting fields are the record and quarantine totals.
+	sp := obs.Begin(selfobs.PipeLive, "parse", "source", s.name)
 	var err error
 	if dp, ok := s.parser.(parsers.DegradedParser); ok {
 		err = dp.ParseDegraded(pr, s.binding.Instructions, emit, sink)
 	} else {
 		err = s.parser.Parse(pr, s.binding.Instructions, emit)
 	}
+	sp.End(emitted, s.quarantined.Load())
 	if err != nil {
+		s.parseErrs.Add(1)
 		// A strict parser died; unblock the tailer permanently and stop
 		// counting this source against the watermark.
 		s.setState(StateFailed, err)
@@ -386,6 +413,8 @@ func (p *Pipeline) runParser(s *source, pr *io.PipeReader) {
 // the error budget, and drive the detector as the watermark moves.
 func (p *Pipeline) loader() {
 	defer close(p.loadDone)
+	obs := selfobs.NewBuf()
+	defer obs.Close()
 	var lastLow int64
 	for r := range p.recs {
 		s := r.src
@@ -410,6 +439,7 @@ func (p *Pipeline) loader() {
 			}
 			s.rows.Add(1)
 			p.rowsTotal.Add(1)
+			obsRowsAppended.Add(1)
 			if s.host == "apache" && s.binding.TableSuffix == "event" {
 				p.observeFront(&r.entry)
 			}
@@ -429,13 +459,22 @@ func (p *Pipeline) loader() {
 		}
 		if low, ok := p.wm.Low(); ok && low != finalLow && low >= lastLow+p.det.windowUS {
 			lastLow = low
-			p.raise(p.det.advance(low, false, p.cfg.Window, time.Now))
+			obsWatermarkMoves.Add(1)
+			sp := obs.Begin(selfobs.PipeLive, "detect", "advance", "")
+			alerts := p.det.advance(low, false, p.cfg.Window, time.Now)
+			sp.End(int64(len(alerts)), 0)
+			p.raise(alerts)
 		}
 	}
 	// Channel closed: every parser is done. Checkpoint and classify the
 	// remainder with the gating relaxed — all evidence has arrived.
+	sp := obs.Begin(selfobs.PipeLive, "checkpoint", "final", "")
 	p.checkpoint()
-	p.raise(p.det.advance(finalLow, true, p.cfg.Window, time.Now))
+	sp.End(int64(p.rowsTotal.Load()), 0)
+	sp = obs.Begin(selfobs.PipeLive, "detect", "final", "")
+	alerts := p.det.advance(finalLow, true, p.cfg.Window, time.Now)
+	sp.End(int64(len(alerts)), 0)
+	p.raise(alerts)
 }
 
 // observeFront folds a front-tier event into the online PIT statistic.

@@ -58,6 +58,7 @@ type source struct {
 
 	rows        atomic.Int64
 	quarantined atomic.Int64
+	parseErrs   atomic.Int64 // unrecoverable parser failures (0 or 1)
 	frontierUS  atomic.Int64
 
 	mu    sync.Mutex

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/gt-elba/milliscope/internal/mscopedb"
+	"github.com/gt-elba/milliscope/internal/selfobs"
 )
 
 // BuildReport summarizes a degraded-mode trace construction: which event
@@ -53,10 +54,12 @@ func BuildPartial(db *mscopedb.DB, eventTables []string) (map[string]*Trace, *Bu
 	if len(present) == 0 {
 		return nil, nil, fmt.Errorf("tracegraph: none of the event tables %v exist", eventTables)
 	}
+	sp := selfobs.Begin(selfobs.PipeTrace, "join", "-", "")
 	traces, err := Build(db, present)
 	if err != nil {
 		return nil, nil, err
 	}
+	sp.End(int64(len(traces)), int64(len(rep.MissingTables)))
 
 	// Full tier order, missing tiers included, defines depth for the
 	// incompleteness rules below.
@@ -68,6 +71,7 @@ func BuildPartial(db *mscopedb.DB, eventTables []string) (map[string]*Trace, *Bu
 			missingTier[fullOrder[i]] = true
 		}
 	}
+	sp = selfobs.Begin(selfobs.PipeTrace, "mark", "-", "")
 	for _, tr := range traces {
 		markMissingTiers(tr, fullOrder, missingTier)
 		rep.Total++
@@ -77,6 +81,7 @@ func BuildPartial(db *mscopedb.DB, eventTables []string) (map[string]*Trace, *Bu
 			rep.Partial++
 		}
 	}
+	sp.End(int64(rep.Total), int64(rep.Partial))
 	return traces, rep, nil
 }
 

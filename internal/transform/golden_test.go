@@ -12,6 +12,7 @@ import (
 
 	"github.com/gt-elba/milliscope/internal/logfmt"
 	"github.com/gt-elba/milliscope/internal/resources"
+	"github.com/gt-elba/milliscope/internal/selfobs"
 	"github.com/gt-elba/milliscope/internal/simtime"
 	"github.com/gt-elba/milliscope/internal/xmlcsv"
 )
@@ -83,17 +84,39 @@ func goldenInputs() map[string]string {
 		logfmt.SARXMLTimestamp(ts(1), iv(1)) +
 		logfmt.SARXMLClose()
 
+	// The framework's own telemetry, rendered from fixed records so the
+	// emitter grammar (selfobs.FormatLine) and the registered parser are
+	// pinned against each other by the same golden bytes.
+	var self strings.Builder
+	for i := 0; i < 4; i++ {
+		self.WriteString(selfobs.FormatLine(ep, "golden-batch", selfobs.Rec{
+			Kind: "span", Pipeline: selfobs.PipeIngest, Stage: "chunkparse",
+			Span: selfobs.Shard(i), File: "apache_access.log",
+			StartNS: int64(i) * 2_500_000, DurNS: 1_200_000 + int64(i)*10_000,
+			Items: 1500 + int64(i), Errs: int64(i % 2),
+		}) + "\n")
+	}
+	self.WriteString(selfobs.FormatLine(ep, "golden-batch", selfobs.Rec{
+		Kind: "span", Pipeline: selfobs.PipeIngest, Stage: "append", Span: "-",
+		File: "apache_access.log", StartNS: 11_000_000, DurNS: 400_000, Items: 6004,
+	}) + "\n")
+	self.WriteString(selfobs.FormatLine(ep, "golden-batch", selfobs.Rec{
+		Kind: "counter", Pipeline: selfobs.PipeLive, Stage: "watermark",
+		Span: "rows_advanced", StartNS: 12_000_000, Items: 6001,
+	}) + "\n")
+
 	return map[string]string{
-		"apache_access.log": apache.String(),
-		"tomcat_mscope.log": tomcat.String(),
-		"cjdbc_ctrl.log":    cjdbc.String(),
-		"mysql_slow.log":    mysql.String(),
-		"web_sar.log":       sar.String(),
-		"db_sar.xml":        sarXML,
-		"db_iostat.log":     iostat.String(),
-		"web_collectl.log":  collectl.String(),
-		"db_collectl.csv":   collectlCSV.String(),
-		"app_pidstat.log":   pidstat.String(),
+		"apache_access.log":    apache.String(),
+		"tomcat_mscope.log":    tomcat.String(),
+		"cjdbc_ctrl.log":       cjdbc.String(),
+		"mysql_slow.log":       mysql.String(),
+		"web_sar.log":          sar.String(),
+		"db_sar.xml":           sarXML,
+		"db_iostat.log":        iostat.String(),
+		"web_collectl.log":     collectl.String(),
+		"db_collectl.csv":      collectlCSV.String(),
+		"app_pidstat.log":      pidstat.String(),
+		"mscope_selftrace.log": self.String(),
 	}
 }
 

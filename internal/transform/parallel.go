@@ -12,6 +12,7 @@ import (
 	"github.com/gt-elba/milliscope/internal/mscopedb"
 	"github.com/gt-elba/milliscope/internal/mxml"
 	"github.com/gt-elba/milliscope/internal/parsers"
+	"github.com/gt-elba/milliscope/internal/selfobs"
 	"github.com/gt-elba/milliscope/internal/simtime"
 	"github.com/gt-elba/milliscope/internal/xmlcsv"
 )
@@ -136,6 +137,8 @@ func ingestDirParallel(db *mscopedb.DB, logDir, workDir string, plan *Plan, opts
 	}
 
 	// The sequenced appender: the only goroutine that touches db or rep.
+	obs := selfobs.NewBuf()
+	defer obs.Close()
 	for _, j := range jobs {
 		switch {
 		case j.action == actSkip:
@@ -163,6 +166,7 @@ func ingestDirParallel(db *mscopedb.DB, logDir, workDir string, plan *Plan, opts
 			return rep, o.err
 		}
 		rep.Files = append(rep.Files, o.fr)
+		sp := obs.Begin(selfobs.PipeIngest, "append", "seq", j.name)
 		loaded, err := importer.Install(db, o.tbl, o.csvPath)
 		if err != nil {
 			return rep, err
@@ -170,6 +174,7 @@ func ingestDirParallel(db *mscopedb.DB, logDir, workDir string, plan *Plan, opts
 		if err := db.RecordIngestAt(loaded.Table, j.full, loaded.Rows, j.size, simtime.Epoch); err != nil {
 			return rep, err
 		}
+		sp.End(int64(loaded.Rows), 0)
 		rep.Loads = append(rep.Loads, loaded)
 	}
 	rep.sortDeterministic()
@@ -183,6 +188,10 @@ func ingestDirParallel(db *mscopedb.DB, logDir, workDir string, plan *Plan, opts
 // path.
 func processFile(ctx context.Context, sem *semaphore, j *fileJob, workDir string, opts Options) fileOutcome {
 	b := j.binding
+	// One span buffer per file worker: every stage span of this file is
+	// appended goroutine-locally and flushed once when the worker returns.
+	obs := selfobs.NewBuf()
+	defer obs.Close()
 	p, err := parsers.Get(b.Parser)
 	if err != nil {
 		return fileOutcome{err: err}
@@ -205,6 +214,7 @@ func processFile(ctx context.Context, sem *semaphore, j *fileJob, workDir string
 		defer sem.release()
 		var fr FileResult
 		var err error
+		sp := obs.Begin(selfobs.PipeIngest, "parse", "whole", j.name)
 		if opts.Policy == Quarantine {
 			fr, err = transformFileDegraded(j.full, b, workDir, opts)
 		} else {
@@ -213,28 +223,33 @@ func processFile(ctx context.Context, sem *semaphore, j *fileJob, workDir string
 		if err != nil {
 			return fileOutcome{err: err}
 		}
-		return finishFile(fr, workDir)
+		sp.End(int64(fr.Entries), int64(fr.Quarantined))
+		return finishFile(fr, workDir, obs, j.name)
 	}
-	return processChunked(ctx, sem, j, cp, bnd, chunkSize, workDir, opts)
+	return processChunked(ctx, sem, j, cp, bnd, chunkSize, workDir, opts, obs)
 }
 
 // processChunked is the sharded parse path: split the file on record
 // boundaries, parse shards concurrently, stitch the results into serial
 // order, then run the same bookkeeping the serial transform performs.
-func processChunked(ctx context.Context, sem *semaphore, j *fileJob, cp parsers.ChunkParser, bnd parsers.Boundary, chunkSize int, workDir string, opts Options) fileOutcome {
+func processChunked(ctx context.Context, sem *semaphore, j *fileJob, cp parsers.ChunkParser, bnd parsers.Boundary, chunkSize int, workDir string, opts Options, obs *selfobs.Buf) fileOutcome {
 	b := j.binding
 	if err := os.MkdirAll(workDir, 0o755); err != nil {
 		return fileOutcome{err: fmt.Errorf("transform: create work dir: %w", err)}
 	}
 	host := hostOf(j.full, b)
 	table := host + "_" + b.TableSuffix
+	sp := obs.Begin(selfobs.PipeIngest, "read", "whole", j.name)
 	data, err := os.ReadFile(j.full)
 	if err != nil {
 		return fileOutcome{err: fmt.Errorf("transform: open %s: %w", j.full, err)}
 	}
+	sp.End(int64(len(data)), 0)
 	degraded := opts.Policy == Quarantine
+	sp = obs.Begin(selfobs.PipeIngest, "shardplan", "whole", j.name)
 	shards := planShards(data, bnd, chunkSize)
-	entries, regions, parseErr := parseSharded(ctx, sem, cp, shards, b.Instructions, degraded)
+	sp.End(int64(len(shards)), 0)
+	entries, regions, parseErr := parseSharded(ctx, sem, cp, shards, b.Instructions, degraded, obs, j.name)
 
 	if !sem.acquireCtx(ctx) {
 		return fileOutcome{err: ctx.Err()}
@@ -266,6 +281,7 @@ func processChunked(ctx context.Context, sem *semaphore, j *fileJob, cp parsers.
 		return fileOutcome{err: fmt.Errorf("transform: %s: %w", j.full, parseErr)}
 	}
 
+	sp = obs.Begin(selfobs.PipeIngest, "mxmlwrite", "whole", j.name)
 	mxmlPath := filepath.Join(workDir, table+".mxml")
 	outF, err := os.Create(mxmlPath)
 	if err != nil {
@@ -286,24 +302,29 @@ func processChunked(ctx context.Context, sem *semaphore, j *fileJob, cp parsers.
 	}
 	fr.MXMLPath = mxmlPath
 	fr.Entries = w.Entries()
+	sp.End(int64(fr.Entries), 0)
 	if degraded {
 		if err := opts.checkBudget(fr, j.full); err != nil {
 			return fileOutcome{fr: fr, err: err}
 		}
 	}
-	return finishFile(fr, workDir)
+	return finishFile(fr, workDir, obs, j.name)
 }
 
 // finishFile runs the conversion and table-build stages shared by both
 // worker paths.
-func finishFile(fr FileResult, workDir string) fileOutcome {
+func finishFile(fr FileResult, workDir string, obs *selfobs.Buf, name string) fileOutcome {
+	sp := obs.Begin(selfobs.PipeIngest, "convert", "whole", name)
 	conv, err := xmlcsv.ConvertFile(fr.MXMLPath, workDir)
 	if err != nil {
 		return fileOutcome{err: err}
 	}
+	sp.End(int64(fr.Entries), 0)
+	sp = obs.Begin(selfobs.PipeIngest, "build", "whole", name)
 	tbl, err := importer.BuildTable(conv.CSVPath, conv.SchemaPath)
 	if err != nil {
 		return fileOutcome{err: err}
 	}
+	sp.End(int64(tbl.Rows()), 0)
 	return fileOutcome{fr: fr, tbl: tbl, csvPath: conv.CSVPath}
 }

@@ -13,6 +13,7 @@ import (
 	"github.com/gt-elba/milliscope/internal/mscopedb"
 	"github.com/gt-elba/milliscope/internal/mxml"
 	"github.com/gt-elba/milliscope/internal/parsers"
+	"github.com/gt-elba/milliscope/internal/selfobs"
 	"github.com/gt-elba/milliscope/internal/simtime"
 	"github.com/gt-elba/milliscope/internal/xmlcsv"
 )
@@ -281,6 +282,8 @@ func IngestDirWithOptions(db *mscopedb.DB, logDir, workDir string, plan *Plan, o
 		}
 	}
 	sort.Strings(names) // deterministic ingest order
+	obs := selfobs.NewBuf()
+	defer obs.Close()
 	for _, name := range names {
 		full := filepath.Join(logDir, name)
 		b, ok := plan.Find(name)
@@ -310,6 +313,7 @@ func IngestDirWithOptions(db *mscopedb.DB, logDir, workDir string, plan *Plan, o
 			}
 		}
 		var fr FileResult
+		sp := obs.Begin(selfobs.PipeIngest, "parse", "serial", name)
 		if opts.Policy == Quarantine {
 			fr, err = transformFileDegraded(full, b, workDir, opts)
 			if err != nil {
@@ -325,11 +329,15 @@ func IngestDirWithOptions(db *mscopedb.DB, logDir, workDir string, plan *Plan, o
 				return rep, err
 			}
 		}
+		sp.End(int64(fr.Entries), int64(fr.Quarantined))
 		rep.Files = append(rep.Files, fr)
+		sp = obs.Begin(selfobs.PipeIngest, "convert", "serial", name)
 		conv, err := xmlcsv.ConvertFile(fr.MXMLPath, workDir)
 		if err != nil {
 			return rep, err
 		}
+		sp.End(int64(fr.Entries), 0)
+		sp = obs.Begin(selfobs.PipeIngest, "append", "serial", name)
 		loaded, err := importer.LoadFile(db, conv.CSVPath, conv.SchemaPath)
 		if err != nil {
 			return rep, err
@@ -339,6 +347,7 @@ func IngestDirWithOptions(db *mscopedb.DB, logDir, workDir string, plan *Plan, o
 		if err := db.RecordIngestAt(loaded.Table, full, loaded.Rows, info.Size(), simtime.Epoch); err != nil {
 			return rep, err
 		}
+		sp.End(int64(loaded.Rows), 0)
 		rep.Loads = append(rep.Loads, loaded)
 	}
 	rep.sortDeterministic()

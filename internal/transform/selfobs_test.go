@@ -1,0 +1,91 @@
+package transform
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/mscopedb"
+	"github.com/gt-elba/milliscope/internal/mxml"
+	"github.com/gt-elba/milliscope/internal/parsers"
+	"github.com/gt-elba/milliscope/internal/selfobs"
+)
+
+// TestInstrumentedIngestMatchesDisabled extends the differential
+// conformance suite with the self-observability axis: a parallel ingest
+// with span instrumentation ENABLED must produce a warehouse
+// byte-identical to the uninstrumented serial ingest. Telemetry observes
+// the pipeline; it must never perturb it.
+func TestInstrumentedIngestMatchesDisabled(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		corrupt bool
+		opts    Options
+	}{
+		{"clean-failfast", false, Options{}},
+		{"corrupt-quarantine", true, Options{Policy: Quarantine, ErrorBudget: 0.5}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			logDir := writeSyntheticDir(t, tc.corrupt)
+			workDir := t.TempDir()
+
+			selfobs.Disable()
+			optsS := tc.opts
+			optsS.Workers = 1
+			optsS.QuarantineDir = t.TempDir()
+			dbS := mscopedb.Open()
+			repS, errS := IngestDirWithOptions(dbS, logDir, workDir, DefaultPlan(), optsS)
+
+			c := selfobs.Enable("diff", time.Unix(0, 0).UTC())
+			defer selfobs.Disable()
+			optsP := tc.opts
+			optsP.Workers = 4
+			optsP.ChunkSize = 2 << 10
+			optsP.QuarantineDir = t.TempDir()
+			dbP := mscopedb.Open()
+			repP, errP := IngestDirWithOptions(dbP, logDir, workDir, DefaultPlan(), optsP)
+			selfobs.Disable()
+
+			if (errS == nil) != (errP == nil) || (errS != nil && errS.Error() != errP.Error()) {
+				t.Fatalf("ingest errors differ:\ndisabled serial      %v\ninstrumented parallel %v", errS, errP)
+			}
+			reportsEqual(t, repS, repP)
+			if ds, dp := dumpBytes(t, dbS), dumpBytes(t, dbP); string(ds) != string(dp) {
+				t.Errorf("warehouse dumps differ: disabled %d bytes, instrumented %d bytes", len(ds), len(dp))
+			}
+
+			// The run must actually have been observed, and its telemetry
+			// must round-trip through the registered selftrace parser.
+			if c.Len() == 0 {
+				t.Fatal("instrumented ingest produced no spans")
+			}
+			var sb strings.Builder
+			lines, err := c.WriteLog(&sb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := parsers.Get("selftrace")
+			if err != nil {
+				t.Fatal(err)
+			}
+			parsed := 0
+			err = p.Parse(strings.NewReader(sb.String()), parsers.Instructions{}, func(mxml.Entry) error {
+				parsed++
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("self-telemetry log does not parse: %v", err)
+			}
+			if parsed != lines {
+				t.Fatalf("parsed %d of %d self-telemetry lines", parsed, lines)
+			}
+			// Every instrumented parallel stage must be represented.
+			for _, stage := range []string{"chunkparse", "stitch", "append", "convert", "build"} {
+				if !strings.Contains(sb.String(), fmt.Sprintf("stage=%s", stage)) {
+					t.Errorf("telemetry missing stage %q", stage)
+				}
+			}
+		})
+	}
+}

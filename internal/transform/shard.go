@@ -9,6 +9,7 @@ import (
 
 	"github.com/gt-elba/milliscope/internal/mxml"
 	"github.com/gt-elba/milliscope/internal/parsers"
+	"github.com/gt-elba/milliscope/internal/selfobs"
 )
 
 // DefaultChunkSize is the target shard size for splitting one source file
@@ -137,7 +138,7 @@ func parseChunkFrom(cp parsers.ChunkParser, in io.Reader, instr parsers.Instruct
 // the cut, so shard i+1's optimistic result is discarded and the range is
 // re-parsed from the tail's first line. Errors surface in serial order:
 // the error returned is the one the serial parse would have hit first.
-func parseSharded(ctx context.Context, sem *semaphore, cp parsers.ChunkParser, shards []shard, instr parsers.Instructions, degraded bool) ([]mxml.Entry, []parsers.Malformed, error) {
+func parseSharded(ctx context.Context, sem *semaphore, cp parsers.ChunkParser, shards []shard, instr parsers.Instructions, degraded bool, obs *selfobs.Buf, name string) ([]mxml.Entry, []parsers.Malformed, error) {
 	outs := make([]chunkOutcome, len(shards))
 	var wg sync.WaitGroup
 	for i := range shards {
@@ -150,10 +151,17 @@ func parseSharded(ctx context.Context, sem *semaphore, cp parsers.ChunkParser, s
 			}
 			defer sem.release()
 			mid := i < len(shards)-1
+			// Shard goroutines cannot share the file worker's Buf (it is
+			// goroutine-local by contract); one-shot spans lock once each.
+			sp := selfobs.Begin(selfobs.PipeIngest, "chunkparse", selfobs.Shard(i), name)
 			outs[i] = parseChunkFrom(cp, bytes.NewReader(shards[i].data), instr, shards[i].startLine, mid, degraded)
+			sp.End(int64(len(outs[i].entries)), int64(len(outs[i].regions)))
 		}(i)
 	}
 	wg.Wait()
+
+	stitch := obs.Begin(selfobs.PipeIngest, "stitch", "whole", name)
+	reparsed := int64(0)
 
 	var entries []mxml.Entry
 	var regions []parsers.Malformed
@@ -179,11 +187,15 @@ func parseSharded(ctx context.Context, sem *semaphore, cp parsers.ChunkParser, s
 		}
 		in := io.MultiReader(strings.NewReader(sb.String()), bytes.NewReader(shards[i].data))
 		cur = parseChunkFrom(cp, in, instr, cur.tail[0].Line, i < len(shards)-1, degraded)
+		reparsed++
 	}
 	if cur.err != nil {
 		return nil, nil, cur.err
 	}
 	entries = append(entries, cur.entries...)
 	regions = append(regions, cur.regions...)
+	// Items counts stitched entries; Errs counts cuts that needed a
+	// cross-shard re-parse (an overhead signal, not a failure).
+	stitch.End(int64(len(entries)), reparsed)
 	return entries, regions, nil
 }

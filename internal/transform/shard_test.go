@@ -60,7 +60,7 @@ func shardedParse(t testing.TB, cp parsers.ChunkParser, data []byte, instr parse
 		t.Fatalf("parser %s not chunkable", cp.Name())
 	}
 	shards := planShards(data, bnd, chunkSize)
-	return parseSharded(context.Background(), newSemaphore(4), cp, shards, instr, degraded)
+	return parseSharded(context.Background(), newSemaphore(4), cp, shards, instr, degraded, nil, "")
 }
 
 // assertParseEquivalent fails unless the sharded parse produced exactly

@@ -48,7 +48,8 @@ type Plan struct {
 }
 
 // DefaultPlan declares every format the simulated testbed produces: the
-// four event-monitor logs, both SAR paths, iostat and both collectl modes.
+// four event-monitor logs, both SAR paths, iostat, both collectl modes,
+// and milliScope's own self-telemetry log (internal/selfobs).
 func DefaultPlan() *Plan {
 	date := simtime.Epoch.Format("2006-01-02")
 	return &Plan{Bindings: []Binding{
@@ -66,6 +67,7 @@ func DefaultPlan() *Plan {
 			Instructions: parsers.Instructions{Const: map[string]string{"date": date}}},
 		{Glob: "*_collectl.csv", Parser: "collectl-csv", Source: "collectl-csv", TableSuffix: "collectlcsv"},
 		{Glob: "*_pidstat.log", Parser: "pidstat", Source: "pidstat", TableSuffix: "pidstat"},
+		{Glob: "*_selftrace.log", Parser: "selftrace", Source: "selfobs", TableSuffix: "selftrace"},
 	}}
 }
 

@@ -30,6 +30,8 @@ package milliscope
 
 import (
 	"io"
+	"net/http"
+	"os"
 	"time"
 
 	"github.com/gt-elba/milliscope/internal/core"
@@ -40,6 +42,7 @@ import (
 	"github.com/gt-elba/milliscope/internal/ntier"
 	"github.com/gt-elba/milliscope/internal/parsers"
 	"github.com/gt-elba/milliscope/internal/report"
+	"github.com/gt-elba/milliscope/internal/selfobs"
 	"github.com/gt-elba/milliscope/internal/stream"
 	"github.com/gt-elba/milliscope/internal/tracegraph"
 	"github.com/gt-elba/milliscope/internal/transform"
@@ -340,3 +343,61 @@ func NewLivePipeline(cfg LiveConfig) (*LivePipeline, error) { return stream.New(
 
 // NewLiveProducer stages a replay of a finished trial's streamable logs.
 func NewLiveProducer(cfg LiveProducerConfig) (*LiveProducer, error) { return stream.NewProducer(cfg) }
+
+// LiveDebugHandler serves Go runtime introspection (/debug/pprof/*,
+// /debug/vars) for a live pipeline. Bind it to its own listener
+// (`mscope live --debug-addr`) — never the metrics/status one.
+func LiveDebugHandler(p *LivePipeline) http.Handler { return stream.DebugHandler(p) }
+
+// Self-observability: milliScope instruments its own pipelines with the
+// same timestamped-span methodology it applies to the n-tier system
+// (internal/selfobs). Enable before an ingest/live run, write the
+// collected telemetry as a milliScope-native log, then ingest that log
+// like any other and analyze it with SelfTraceBreakdown.
+type (
+	// SelfObsCollector accumulates spans and counters for one batch.
+	SelfObsCollector = selfobs.Collector
+	// SelfTraceBatch is one instrumented run reconstructed from *_selftrace
+	// warehouse tables.
+	SelfTraceBatch = core.SelfBatch
+	// SelfTraceStage is a per-(pipeline, stage) critical-path aggregate.
+	SelfTraceStage = core.SelfStage
+	// SelfTraceCounter is one counter snapshot from a batch.
+	SelfTraceCounter = core.SelfCounter
+)
+
+// SelfObsEnable turns self-telemetry on process-wide. batch names the run
+// in the emitted log; epoch anchors its wall-clock timestamps. Returns
+// the active collector; pass it to WriteSelfLog after the run.
+func SelfObsEnable(batch string, epoch time.Time) *SelfObsCollector {
+	return selfobs.Enable(batch, epoch)
+}
+
+// SelfObsDisable turns self-telemetry off and returns the collector that
+// was active, if any.
+func SelfObsDisable() *SelfObsCollector { return selfobs.Disable() }
+
+// WriteSelfLog writes the collector's telemetry to path in the
+// self-trace log format the built-in Parsing Declaration routes (name the
+// file *_selftrace.log — e.g. mscope_selftrace.log — so a later ingest
+// picks it up). Returns the number of lines written.
+func WriteSelfLog(c *SelfObsCollector, path string) (int, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	n, err := c.WriteLog(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}
+
+// SelfTraceBreakdown aggregates every *_selftrace table in the warehouse
+// into per-batch, per-stage critical-path summaries.
+func SelfTraceBreakdown(db *DB) ([]SelfTraceBatch, error) { return core.SelfTraceBreakdown(db) }
+
+// RenderSelfTrace prints per-batch critical-path tables for human eyes.
+func RenderSelfTrace(w io.Writer, batches []SelfTraceBatch) error {
+	return core.RenderSelfTrace(w, batches)
+}
