@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet selfobs-lint test test-short race race-short bench bench-check overhead-check cover fuzz chaos live-smoke experiment clean
+.PHONY: all build vet selfobs-lint test test-short race race-short bench bench-check overhead-check profile-ingest cover fuzz chaos live-smoke experiment clean
 
 all: build vet selfobs-lint race-short live-smoke test bench-check overhead-check
 
@@ -34,11 +34,17 @@ bench:
 # Regression gate: re-run the ingest benchmarks and compare against the
 # committed baselines (BENCH_ingest.json, BENCH_stream.json). A tracked
 # metric >20% worse than its baseline fails the build; improvements pass
-# (re-record the baseline to lock them in).
+# (re-record the baseline to lock them in). BENCH_ingest.json additionally
+# pins absolute bounds on the serial direct path: a rows_per_sec floor at
+# 2x the staged-pipeline baseline and an allocs_per_op ceiling at 1/5 of
+# it. The per-format parser microbenchmarks are gated by the
+# BENCH_parsers.json per-line budgets.
 bench-check:
 	$(GO) test -run xxx -bench 'BenchmarkIngestBatch|BenchmarkIngestParallel|BenchmarkIngestStreaming' \
 		-benchtime 5x -benchmem . 2>&1 | tee bench_output.txt
 	$(GO) run ./cmd/benchcheck --input bench_output.txt BENCH_ingest.json BENCH_stream.json
+	$(GO) test -run xxx -bench BenchmarkParseLine -benchtime 100x ./internal/parsers/ 2>&1 | tee parser_bench_output.txt
+	$(GO) run ./cmd/benchcheck --input parser_bench_output.txt BENCH_parsers.json
 
 # Self-observability budget gate: paired instrumented-vs-disabled ingests
 # of the same corpus; fails if the median overhead exceeds the absolute
@@ -46,6 +52,16 @@ bench-check:
 overhead-check:
 	$(GO) test -run xxx -bench BenchmarkSelfObsOverhead -benchtime 3x . 2>&1 | tee selfobs_bench_output.txt
 	$(GO) run ./cmd/benchcheck --input selfobs_bench_output.txt BENCH_selfobs.json
+
+# Profile the serial batch ingest: writes CPU and allocation profiles of
+# BenchmarkIngestBatch for `go tool pprof`. This is the loop the
+# direct-path work optimizes; start here before touching the hot path.
+profile-ingest:
+	$(GO) test -run xxx -bench BenchmarkIngestBatch -benchtime 5x \
+		-cpuprofile ingest_cpu.pprof -memprofile ingest_mem.pprof .
+	@echo "profiles written; inspect with:"
+	@echo "  $(GO) tool pprof -top ingest_cpu.pprof"
+	@echo "  $(GO) tool pprof -top -sample_index=alloc_objects ingest_mem.pprof"
 
 # Hot-path telemetry lint: files on the per-record ingest/stream paths may
 # only touch internal/selfobs through its no-op-able API (NewBuf / Begin /
@@ -62,6 +78,7 @@ cover:
 fuzz:
 	$(GO) test -fuzz FuzzApacheAccessLog -fuzztime 30s ./internal/parsers/
 	$(GO) test -fuzz FuzzMySQLSlowLog -fuzztime 30s ./internal/parsers/
+	$(GO) test -fuzz FuzzTokenizerEquivalence -fuzztime 30s ./internal/parsers/
 	$(GO) test -fuzz FuzzShardedParseEquivalence -fuzztime 30s ./internal/transform/
 
 # End-to-end chaos drill: run a trial, corrupt its logs deterministically,

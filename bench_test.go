@@ -36,6 +36,7 @@ var (
 	scenAOnce sync.Once
 	scenADB   *milliscope.DB
 	scenAWork string
+	scenALogs string
 	scenAErr  error
 
 	scenBOnce sync.Once
@@ -74,6 +75,7 @@ func scenarioA(b *testing.B) *milliscope.DB {
 			scenAErr = err
 			return
 		}
+		scenALogs = logs
 		scenAWork, err = os.MkdirTemp("", "mscope-bench-dbio-work-")
 		if err != nil {
 			scenAErr = err
@@ -533,9 +535,17 @@ func BenchmarkAblationSyncLogging(b *testing.B) {
 // narrowest-type inference): warehouse footprint of a typed schema vs the
 // same data loaded all-string.
 func BenchmarkAblationSchemaTyping(b *testing.B) {
-	scenarioA(b) // materializes CSV + schema files in scenAWork
-	csvPath := filepath.Join(scenAWork, "mysql_event.csv")
-	schemaPath := filepath.Join(scenAWork, "mysql_event.schema.json")
+	scenarioA(b)
+	// The default ingest is direct (no staged artifacts); re-run it with
+	// Materialize to get the CSV + schema files this ablation compares.
+	matWork := tmp(b, "ablation-mat")
+	defer os.RemoveAll(matWork)
+	if _, err := milliscope.IngestDirWithOptions(milliscope.OpenDB(), scenALogs, matWork,
+		milliscope.DefaultPlan(), milliscope.IngestOptions{Materialize: true}); err != nil {
+		b.Fatal(err)
+	}
+	csvPath := filepath.Join(matWork, "mysql_event.csv")
+	schemaPath := filepath.Join(matWork, "mysql_event.schema.json")
 	if _, err := os.Stat(csvPath); err != nil {
 		b.Fatal(err)
 	}

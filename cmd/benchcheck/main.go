@@ -9,7 +9,9 @@
 // with no tolerance, for metrics that are budgets rather than measured
 // baselines (BENCH_selfobs.json caps the self-telemetry overhead_pct at
 // 3). A measured value above its ceiling fails regardless of any prior
-// run's value.
+// run's value. "floors" are the mirror image — absolute lower bounds for
+// metrics where higher is better (BENCH_ingest.json pins the direct-path
+// rows_per_sec to at least 2x the staged-pipeline baseline).
 //
 // Usage:
 //
@@ -27,8 +29,8 @@ import (
 )
 
 // baseline mirrors the committed BENCH_*.json layout. Metric keys not
-// listed in checkedMetrics (rows, bytes_per_op, allocs_per_op) are
-// informational and never gate.
+// listed in checkedMetrics (rows, bytes_per_op) are informational and
+// never gate.
 type baseline struct {
 	Date       string                        `json:"date"`
 	Corpus     string                        `json:"corpus"`
@@ -36,8 +38,10 @@ type baseline struct {
 	CPU        string                        `json:"cpu"`
 	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
 	// Ceilings are absolute upper bounds per benchmark/metric, enforced
-	// without tolerance — a budget, not a drifting baseline.
+	// without tolerance — a budget, not a drifting baseline. Floors are
+	// the symmetric absolute lower bounds.
 	Ceilings map[string]map[string]float64 `json:"ceilings"`
+	Floors   map[string]map[string]float64 `json:"floors"`
 	Headline string                        `json:"headline"`
 }
 
@@ -51,6 +55,7 @@ func (b *baseline) UnmarshalJSON(data []byte) error {
 		CPU        string                            `json:"cpu"`
 		Benchmarks map[string]map[string]interface{} `json:"benchmarks"`
 		Ceilings   map[string]map[string]float64     `json:"ceilings"`
+		Floors     map[string]map[string]float64     `json:"floors"`
 		Headline   string                            `json:"headline"`
 	}
 	if err := json.Unmarshal(data, &raw); err != nil {
@@ -58,6 +63,7 @@ func (b *baseline) UnmarshalJSON(data []byte) error {
 	}
 	b.Date, b.Corpus, b.Command, b.CPU, b.Headline = raw.Date, raw.Corpus, raw.Command, raw.CPU, raw.Headline
 	b.Ceilings = raw.Ceilings
+	b.Floors = raw.Floors
 	b.Benchmarks = map[string]map[string]float64{}
 	for name, metrics := range raw.Benchmarks {
 		b.Benchmarks[name] = map[string]float64{}
@@ -73,8 +79,9 @@ func (b *baseline) UnmarshalJSON(data []byte) error {
 // checkedMetrics maps a baseline metric key to its direction: true means
 // lower is better (time), false means higher is better (throughput).
 var checkedMetrics = map[string]bool{
-	"ns_per_op":    true,
-	"rows_per_sec": false,
+	"ns_per_op":     true,
+	"allocs_per_op": true,
+	"rows_per_sec":  false,
 }
 
 // unitToKey maps a `go test -bench` unit to the baseline metric key.
@@ -87,6 +94,9 @@ var unitToKey = map[string]string{
 	"overhead_pct":    "overhead_pct",
 	"disabled_ns":     "disabled_ns",
 	"instrumented_ns": "instrumented_ns",
+	"ns/line":         "ns_per_line",
+	"B/line":          "bytes_per_line",
+	"allocs/line":     "allocs_per_line",
 }
 
 // parseBenchOutput extracts value/unit pairs from benchmark result lines:
@@ -173,6 +183,24 @@ func check(base baseline, got map[string]map[string]float64, tol float64) []stri
 			if gotVal > ceil {
 				fails = append(fails, fmt.Sprintf("%s: %s = %.2f exceeds absolute ceiling %.2f",
 					name, key, gotVal, ceil))
+			}
+		}
+	}
+	for name, bounds := range base.Floors {
+		m, ok := got[name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: missing from bench output", name))
+			continue
+		}
+		for key, floor := range bounds {
+			gotVal, ok := m[key]
+			if !ok {
+				fails = append(fails, fmt.Sprintf("%s: metric %s missing from bench output", name, key))
+				continue
+			}
+			if gotVal < floor {
+				fails = append(fails, fmt.Sprintf("%s: %s = %.2f below absolute floor %.2f",
+					name, key, gotVal, floor))
 			}
 		}
 	}

@@ -85,15 +85,32 @@ func TestCheckMissingBenchmarkFails(t *testing.T) {
 }
 
 func TestCheckUntrackedMetricsIgnored(t *testing.T) {
-	// rows / B/op / allocs drift must never gate.
+	// rows / B/op drift must never gate.
 	base := baseline{Benchmarks: map[string]map[string]float64{
 		"BenchmarkIngestBatch": {
 			"ns_per_op": 2000000000, "rows_per_sec": 18000,
-			"rows": 1, "bytes_per_op": 1, "allocs_per_op": 1,
+			"rows": 1, "bytes_per_op": 1,
 		},
 	}}
 	if fails := check(base, parse(t), 0.20); len(fails) != 0 {
 		t.Fatalf("untracked metrics gated the check: %v", fails)
+	}
+}
+
+func TestCheckAllocsDirection(t *testing.T) {
+	// allocs_per_op is tracked with lower-is-better direction: growth past
+	// the tolerance fails, shrinkage always passes.
+	got := parse(t)
+	mk := func(allocs float64) baseline {
+		return baseline{Benchmarks: map[string]map[string]float64{
+			"BenchmarkIngestBatch": {"allocs_per_op": allocs},
+		}}
+	}
+	if fails := check(mk(14823200/2), got, 0.20); len(fails) != 1 {
+		t.Errorf("alloc regression passed: %v", fails)
+	}
+	if fails := check(mk(14823200*2), got, 0.20); len(fails) != 0 {
+		t.Errorf("alloc improvement gated: %v", fails)
 	}
 }
 
@@ -121,6 +138,51 @@ func TestCheckCeilings(t *testing.T) {
 	// Ceilings are absolute: tolerance must not loosen them.
 	if fails := check(mk("BenchmarkSelfObsOverhead", "overhead_pct", 1.0), got, 10.0); len(fails) != 1 {
 		t.Errorf("tolerance loosened a ceiling: %v", fails)
+	}
+}
+
+func TestCheckFloors(t *testing.T) {
+	got := parse(t)
+	mk := func(bench, key string, floor float64) baseline {
+		return baseline{Floors: map[string]map[string]float64{bench: {key: floor}}}
+	}
+	cases := []struct {
+		name  string
+		base  baseline
+		fails int
+	}{
+		{"above floor passes", mk("BenchmarkIngestBatch", "rows_per_sec", 17000), 0},
+		{"exact floor passes", mk("BenchmarkIngestBatch", "rows_per_sec", 18000), 0},
+		{"below floor fails", mk("BenchmarkIngestBatch", "rows_per_sec", 27124), 1},
+		{"missing benchmark fails", mk("BenchmarkGone", "rows_per_sec", 1), 1},
+		{"missing metric fails", mk("BenchmarkIngestBatch", "nope", 1), 1},
+	}
+	for _, tc := range cases {
+		if fails := check(tc.base, got, 0.20); len(fails) != tc.fails {
+			t.Errorf("%s: %d failures, want %d: %v", tc.name, len(fails), tc.fails, fails)
+		}
+	}
+	// Floors are absolute: tolerance must not loosen them.
+	if fails := check(mk("BenchmarkIngestBatch", "rows_per_sec", 27124), got, 10.0); len(fails) != 1 {
+		t.Errorf("tolerance loosened a floor: %v", fails)
+	}
+}
+
+func TestParsePerLineUnits(t *testing.T) {
+	out := `BenchmarkParseLine/apache_access-4  1000  812.5 ns/line  96.00 B/line  2.000 allocs/line
+PASS
+`
+	got, err := parseBenchOutput(bufio.NewScanner(strings.NewReader(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got["BenchmarkParseLine/apache_access"]
+	for key, want := range map[string]float64{
+		"ns_per_line": 812.5, "bytes_per_line": 96, "allocs_per_line": 2,
+	} {
+		if m[key] != want {
+			t.Errorf("%s = %v, want %v", key, m[key], want)
+		}
 	}
 }
 

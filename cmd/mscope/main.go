@@ -222,6 +222,8 @@ func cmdIngest(args []string) error {
 	qdir := fs.String("quarantine", "", "quarantine sink directory (default: WORK/quarantine)")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"parallel ingest workers (1 = serial; output is identical either way)")
+	materialize := fs.Bool("materialize", false,
+		"write staged XML/CSV artifacts to WORK instead of streaming parser output straight to the warehouse")
 	selfLog := fs.String("self-log", "",
 		"write milliScope's own span telemetry to this file (or directory) as an ingestable log")
 	if err := fs.Parse(args); err != nil {
@@ -241,7 +243,7 @@ func cmdIngest(args []string) error {
 		return err
 	}
 	opts := milliscope.IngestOptions{Policy: policy, ErrorBudget: *budget,
-		QuarantineDir: *qdir, Workers: *workers}
+		QuarantineDir: *qdir, Workers: *workers, Materialize: *materialize}
 	var db *milliscope.DB
 	if _, statErr := os.Stat(*dbPath); statErr == nil {
 		// Re-ingesting into an existing warehouse: the ingest ledger makes

@@ -20,11 +20,17 @@ const (
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+
+	// ingestOff mirrors the mscope_ingests ledger as source-file → latest
+	// recorded offset, so the per-file idempotency probe at the top of
+	// every ingest is O(1) instead of a full ledger scan.
+	offMu     sync.Mutex
+	ingestOff map[string]int64
 }
 
 // Open creates an empty warehouse with the four static tables.
 func Open() *DB {
-	db := &DB{tables: make(map[string]*Table)}
+	db := &DB{tables: make(map[string]*Table), ingestOff: make(map[string]int64)}
 	mustCreate := func(name string, cols []Column) {
 		t, err := NewTable(name, cols)
 		if err != nil {
@@ -191,28 +197,22 @@ func (db *DB) RecordIngestAt(table, file string, rows int, offset int64, loaded 
 	if err != nil {
 		return err
 	}
-	return t.Append(table, file, int64(rows), offset, loaded)
+	if err := t.Append(table, file, int64(rows), offset, loaded); err != nil {
+		return err
+	}
+	db.offMu.Lock()
+	db.ingestOff[file] = offset
+	db.offMu.Unlock()
+	return nil
 }
 
 // LatestIngestOffset returns the most recently recorded byte offset for a
-// source file, and whether the ledger has any entry for it. Entries are
-// append-only; the last row for the file wins.
+// source file, and whether the ledger has any entry for it. The ledger is
+// append-only and the last row for a file wins; the answer comes from a
+// per-file map maintained alongside the ledger, not a table scan.
 func (db *DB) LatestIngestOffset(file string) (int64, bool) {
-	t, err := db.Table(TableIngests)
-	if err != nil {
-		return 0, false
-	}
-	fi, oi := t.ColIndex("file"), t.ColIndex("offset")
-	if fi < 0 || oi < 0 {
-		return 0, false
-	}
-	var off int64
-	found := false
-	for r := 0; r < t.Rows(); r++ {
-		if t.Str(fi, r) == file {
-			off = t.Int(oi, r)
-			found = true
-		}
-	}
-	return off, found
+	db.offMu.Lock()
+	defer db.offMu.Unlock()
+	off, ok := db.ingestOff[file]
+	return off, ok
 }

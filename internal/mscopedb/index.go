@@ -1,0 +1,117 @@
+package mscopedb
+
+import "sort"
+
+// indexMinRows is the table size below which a full scan beats building
+// and probing a sorted index.
+const indexMinRows = 256
+
+// colIndex is a lazily built sorted view of one int- or time-typed
+// column: row numbers permuted into ascending value order, with the
+// values alongside for binary search. It turns the Between scans that
+// dominate window-aggregation queries from O(rows) per query into
+// O(log rows + matches).
+type colIndex struct {
+	// rows is the table row count the index was built at; a mismatch at
+	// lookup time means rows were appended since and the index rebuilds.
+	rows int
+	perm []int32
+	vals []float64
+}
+
+// sortedIndex returns the cached sorted index for the column, building or
+// rebuilding it as needed, or nil when the column isn't worth indexing
+// (wrong type, or too few rows). Float columns are excluded: NaN cells
+// would break the sort order binary search relies on.
+func (t *Table) sortedIndex(ci int) *colIndex {
+	switch t.cols[ci].Type {
+	case TInt, TTime:
+	default:
+		return nil
+	}
+	if t.rows < indexMinRows {
+		return nil
+	}
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	old := t.idx[ci]
+	if old != nil && old.rows == t.rows {
+		return old
+	}
+	var col []int64
+	if t.cols[ci].Type == TInt {
+		col = t.data[ci].Ints
+	} else {
+		col = t.data[ci].Times
+	}
+	from := 0
+	if old != nil && old.rows < t.rows {
+		// Streaming ingests alternate append and query: extend the stale
+		// index by merging in the new suffix instead of re-sorting the
+		// whole column.
+		from = old.rows
+	}
+	fresh := sortRows(col, from, t.rows)
+	ix := fresh
+	if from > 0 {
+		ix = mergeIndex(old, fresh)
+	}
+	ix.rows = t.rows
+	if t.idx == nil {
+		t.idx = make(map[int]*colIndex)
+	}
+	t.idx[ci] = ix
+	return ix
+}
+
+// sortRows builds a colIndex over rows [from, to) of one int64 column.
+// Equal values keep ascending row order, so a full build and an
+// incremental merge produce identical indexes.
+func sortRows(col []int64, from, to int) *colIndex {
+	n := to - from
+	ix := &colIndex{perm: make([]int32, n), vals: make([]float64, n)}
+	for i := range ix.perm {
+		ix.perm[i] = int32(from + i)
+	}
+	sort.SliceStable(ix.perm, func(i, j int) bool {
+		return col[ix.perm[i]] < col[ix.perm[j]]
+	})
+	for k, r := range ix.perm {
+		// float64 coercion mirrors pred.match, so binary-search bounds and
+		// predicate comparisons agree cell for cell.
+		ix.vals[k] = float64(col[r])
+	}
+	return ix
+}
+
+// mergeIndex merges two sorted indexes; b's rows all follow a's, so ties
+// resolve to a first, preserving row order among equal values.
+func mergeIndex(a, b *colIndex) *colIndex {
+	n := len(a.perm) + len(b.perm)
+	out := &colIndex{perm: make([]int32, 0, n), vals: make([]float64, 0, n)}
+	i, j := 0, 0
+	for i < len(a.perm) && j < len(b.perm) {
+		if a.vals[i] <= b.vals[j] {
+			out.perm = append(out.perm, a.perm[i])
+			out.vals = append(out.vals, a.vals[i])
+			i++
+		} else {
+			out.perm = append(out.perm, b.perm[j])
+			out.vals = append(out.vals, b.vals[j])
+			j++
+		}
+	}
+	out.perm = append(out.perm, a.perm[i:]...)
+	out.vals = append(out.vals, a.vals[i:]...)
+	out.perm = append(out.perm, b.perm[j:]...)
+	out.vals = append(out.vals, b.vals[j:]...)
+	return out
+}
+
+// dropIndex discards the cached index for a column whose stored values
+// changed in place (Widen); plain appends are caught by the rows check.
+func (t *Table) dropIndex(ci int) {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	delete(t.idx, ci)
+}

@@ -82,5 +82,16 @@ func Load(path string) (*DB, error) {
 			return nil, fmt.Errorf("mscopedb: load %s: static table %s missing", path, name)
 		}
 	}
+	// Rebuild the latest-offset map from the persisted ledger: rows are
+	// append-ordered, so the last row per file wins.
+	db.ingestOff = make(map[string]int64)
+	if t := db.tables[TableIngests]; t != nil {
+		fi, oi := t.ColIndex("file"), t.ColIndex("offset")
+		if fi >= 0 && oi >= 0 {
+			for r := 0; r < t.Rows(); r++ {
+				db.ingestOff[t.Str(fi, r)] = t.Int(oi, r)
+			}
+		}
+	}
 	return db, nil
 }

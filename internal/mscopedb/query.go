@@ -137,16 +137,7 @@ func (q *Query) Rows() (*Result, error) {
 		return nil, q.err
 	}
 	t := q.t
-	var idx []int
-scan:
-	for r := 0; r < t.rows; r++ {
-		for _, p := range q.preds {
-			if !p.match(t, r) {
-				continue scan
-			}
-		}
-		idx = append(idx, r)
-	}
+	idx := q.candidates()
 	if q.sort >= 0 {
 		ci := q.sort
 		if t.cols[ci].Type == TString {
@@ -172,6 +163,78 @@ scan:
 		idx = idx[:q.limit]
 	}
 	return &Result{t: t, idx: idx}, nil
+}
+
+// candidates returns the matching row numbers in table order. When the
+// predicates contain a lo <= col <= hi pair on an indexable column — the
+// shape Between and every window query produce — the sorted column index
+// narrows the scan to the candidate range by binary search; every
+// predicate is still applied to every candidate, so the result is exactly
+// the full scan's.
+func (q *Query) candidates() []int {
+	t := q.t
+	if ci, lo, hi, ok := q.rangePair(); ok {
+		if ix := t.sortedIndex(ci); ix != nil {
+			return q.indexScan(ix, lo, hi)
+		}
+	}
+	var idx []int
+scan:
+	for r := 0; r < t.rows; r++ {
+		for _, p := range q.preds {
+			if !p.match(t, r) {
+				continue scan
+			}
+		}
+		idx = append(idx, r)
+	}
+	return idx
+}
+
+// rangePair finds an OpGe + OpLe predicate pair on one int- or time-typed
+// column.
+func (q *Query) rangePair() (ci int, lo, hi float64, ok bool) {
+	for _, p := range q.preds {
+		if p.isStr || p.op != OpGe {
+			continue
+		}
+		switch q.t.cols[p.col].Type {
+		case TInt, TTime:
+		default:
+			continue
+		}
+		for _, p2 := range q.preds {
+			if !p2.isStr && p2.op == OpLe && p2.col == p.col {
+				return p.col, p.num, p2.num, true
+			}
+		}
+	}
+	return -1, 0, 0, false
+}
+
+// indexScan collects the rows inside [lo, hi] from the sorted index,
+// restores table order, and re-applies the full predicate list.
+func (q *Query) indexScan(ix *colIndex, lo, hi float64) []int {
+	t := q.t
+	var idx []int
+	for k := sort.SearchFloat64s(ix.vals, lo); k < len(ix.vals); k++ {
+		if ix.vals[k] > hi {
+			break
+		}
+		idx = append(idx, int(ix.perm[k]))
+	}
+	sort.Ints(idx)
+	out := idx[:0]
+cand:
+	for _, r := range idx {
+		for _, p := range q.preds {
+			if !p.match(t, r) {
+				continue cand
+			}
+		}
+		out = append(out, r)
+	}
+	return out
 }
 
 func (p pred) match(t *Table, row int) bool {

@@ -12,6 +12,8 @@ package mscopedb
 import (
 	"fmt"
 	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"github.com/gt-elba/milliscope/internal/mxml"
@@ -66,13 +68,26 @@ type Column struct {
 }
 
 // colData holds one column's values; exactly one slice is used, selected
-// by the column type. Times are microsecond epochs.
+// by the column type. Times are microsecond epochs. The unexported intern
+// state is skipped by gob and rebuilt lazily after Load.
 type colData struct {
 	Ints   []int64
 	Floats []float64
 	Times  []int64
 	Strs   []string
+
+	// intern deduplicates low-cardinality string columns (device names,
+	// HTTP methods, status codes): repeated values share one backing
+	// string instead of each pinning a slice of its source log line.
+	// Past internCap distinct values the column is treated as
+	// high-cardinality and interning shuts off for good.
+	intern    map[string]string
+	internOff bool
 }
+
+// internCap bounds the per-column intern map; a column that exceeds it is
+// high-cardinality (URLs, free text) and not worth deduplicating.
+const internCap = 256
 
 // Table is one warehouse table.
 type Table struct {
@@ -81,6 +96,11 @@ type Table struct {
 	colIdx map[string]int
 	data   []colData
 	rows   int
+
+	// idx caches sorted-order permutations per column for range scans;
+	// guarded by idxMu, invalidated by staleness checks against rows.
+	idxMu sync.Mutex
+	idx   map[int]*colIndex
 }
 
 // NewTable builds an empty table; column names must be unique and
@@ -135,6 +155,37 @@ func (t *Table) ColIndex(name string) int {
 		return -1
 	}
 	return i
+}
+
+// Grow preallocates column storage for n additional rows, so a bulk load
+// with a known row count (the direct ingest path) appends without any
+// intermediate slice doublings.
+func (t *Table) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	for i := range t.data {
+		d := &t.data[i]
+		switch t.cols[i].Type {
+		case TInt:
+			d.Ints = growSlice(d.Ints, n)
+		case TFloat:
+			d.Floats = growSlice(d.Floats, n)
+		case TTime:
+			d.Times = growSlice(d.Times, n)
+		case TString:
+			d.Strs = growSlice(d.Strs, n)
+		}
+	}
+}
+
+func growSlice[E any](s []E, n int) []E {
+	if cap(s)-len(s) >= n {
+		return s
+	}
+	ns := make([]E, len(s), len(s)+n)
+	copy(ns, s)
+	return ns
 }
 
 // Append adds one row; values must match the schema positionally with Go
@@ -215,11 +266,36 @@ func (t *Table) AppendStrings(raw []string) error {
 			}
 			t.data[i].Times = append(t.data[i].Times, x)
 		case TString:
-			t.data[i].Strs = append(t.data[i].Strs, s)
+			d := &t.data[i]
+			d.Strs = append(d.Strs, d.internStr(s))
 		}
 	}
 	t.rows++
 	return nil
+}
+
+// internStr returns a shared copy of s for low-cardinality columns. The
+// clone matters beyond deduplication: stored cells stop referencing their
+// source line (the direct ingest path appends substrings of whole log
+// lines), so repeated values pin one small string instead of many lines.
+func (d *colData) internStr(s string) string {
+	if s == "" || d.internOff {
+		return s
+	}
+	if v, ok := d.intern[s]; ok {
+		return v
+	}
+	if len(d.intern) >= internCap {
+		d.internOff = true
+		d.intern = nil
+		return s
+	}
+	if d.intern == nil {
+		d.intern = make(map[string]string)
+	}
+	c := strings.Clone(s)
+	d.intern[c] = c
+	return c
 }
 
 // Widen converts a column to a wider storage type in place, rewriting the
@@ -269,6 +345,7 @@ func (t *Table) Widen(col string, to Type) error {
 		return fmt.Errorf("mscopedb: %s.%s: cannot widen %v to %v", t.name, col, from, to)
 	}
 	t.cols[ci].Type = to
+	t.dropIndex(ci)
 	return nil
 }
 

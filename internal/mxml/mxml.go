@@ -15,6 +15,7 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // TimeLayout is the normalized timestamp encoding parsers emit for fields
@@ -36,6 +37,35 @@ type Field struct {
 // Entry is one record: an ordered field list.
 type Entry struct {
 	Fields []Field
+}
+
+// fieldPool recycles field storage between entries. Parsers allocate one
+// entry per record on the hot ingest path; pooling the backing arrays
+// removes that per-record allocation. Ownership transfers with the entry:
+// a sink that copies what it needs calls Release, a sink that retains the
+// entry simply never does (the pool misses and allocates fresh storage,
+// which is the pre-pool behavior).
+var fieldPool = sync.Pool{
+	New: func() any { return &[]Field{} },
+}
+
+// NewEntry returns an entry whose field storage may be recycled from a
+// previous entry's Release. Use it on hot paths; the zero Entry remains
+// valid everywhere else.
+func NewEntry() Entry {
+	p := fieldPool.Get().(*[]Field)
+	return Entry{Fields: (*p)[:0]}
+}
+
+// Release returns the entry's field storage to the pool and clears the
+// entry. Only call it when no reference to the fields outlives the call.
+func (e *Entry) Release() {
+	if cap(e.Fields) == 0 {
+		return
+	}
+	s := e.Fields[:0]
+	fieldPool.Put(&s)
+	e.Fields = nil
 }
 
 // Get returns the named field's value and whether it exists.

@@ -34,6 +34,8 @@ func (collectlPlainParser) Parse(in io.Reader, instr Instructions, emit Emit) er
 		return fmt.Errorf("parsers: collectl date %q: %w", dateStr, err)
 	}
 	sc := newScanner(in)
+	var fieldBuf []string
+	var scratch matchScratch
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -41,7 +43,8 @@ func (collectlPlainParser) Parse(in io.Reader, instr Instructions, emit Emit) er
 		if strings.HasPrefix(line, "#") || strings.TrimSpace(line) == "" {
 			continue
 		}
-		fields := strings.Fields(line)
+		fields := fieldsInto(line, fieldBuf)
+		fieldBuf = fields
 		if len(fields) != len(collectlPlainCols)+1 {
 			return fmt.Errorf("parsers: collectl line %d: %d fields, want %d",
 				lineNo, len(fields), len(collectlPlainCols)+1)
@@ -52,12 +55,12 @@ func (collectlPlainParser) Parse(in io.Reader, instr Instructions, emit Emit) er
 		}
 		ts := time.Date(date.Year(), date.Month(), date.Day(),
 			clock.Hour(), clock.Minute(), clock.Second(), clock.Nanosecond(), time.UTC)
-		var e mxml.Entry
+		e := mxml.NewEntry()
 		e.AddTyped("ts", ts.Format(mxml.TimeLayout), "time")
 		for i, c := range collectlPlainCols {
 			e.Add(c, fields[i+1])
 		}
-		if err := applyCommon(&e, instr); err != nil {
+		if err := applyCommon(&e, instr, &scratch); err != nil {
 			return fmt.Errorf("parsers: collectl line %d: %w", lineNo, err)
 		}
 		if err := emit(e); err != nil {
@@ -82,6 +85,8 @@ func (collectlCSVParser) Name() string { return "collectl-csv" }
 
 func (collectlCSVParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
 	sc := newScanner(in)
+	var fieldBuf []string
+	var scratch matchScratch
 	lineNo := 0
 	var cols []string
 	dateIdx, timeIdx := -1, -1
@@ -111,7 +116,8 @@ func (collectlCSVParser) Parse(in io.Reader, instr Instructions, emit Emit) erro
 			}
 			continue
 		}
-		fields := strings.Split(line, ",")
+		fields := splitInto(line, ',', fieldBuf)
+		fieldBuf = fields
 		if len(fields) != len(cols) {
 			return fmt.Errorf("parsers: collectl-csv line %d: %d fields, want %d",
 				lineNo, len(fields), len(cols))
@@ -120,7 +126,7 @@ func (collectlCSVParser) Parse(in io.Reader, instr Instructions, emit Emit) erro
 		if err != nil {
 			return fmt.Errorf("parsers: collectl-csv line %d: timestamp: %w", lineNo, err)
 		}
-		var e mxml.Entry
+		e := mxml.NewEntry()
 		e.AddTyped("ts", ts.UTC().Format(mxml.TimeLayout), "time")
 		for i, c := range cols {
 			if i == dateIdx || i == timeIdx {
@@ -128,7 +134,7 @@ func (collectlCSVParser) Parse(in io.Reader, instr Instructions, emit Emit) erro
 			}
 			e.Add(c, fields[i])
 		}
-		if err := applyCommon(&e, instr); err != nil {
+		if err := applyCommon(&e, instr, &scratch); err != nil {
 			return fmt.Errorf("parsers: collectl-csv line %d: %w", lineNo, err)
 		}
 		if err := emit(e); err != nil {

@@ -1,0 +1,60 @@
+package parsers
+
+import "strings"
+
+// fields.go holds the allocation-free replacements for strings.Fields and
+// strings.Split used by the customized parsers' per-line loops: the caller
+// keeps one buffer per file and the splitters refill it in place.
+
+// isASCIISpace mirrors the ASCII portion of unicode.IsSpace, which is what
+// strings.Fields tests for pure-ASCII input.
+func isASCIISpace(b byte) bool {
+	switch b {
+	case ' ', '\t', '\n', '\v', '\f', '\r':
+		return true
+	}
+	return false
+}
+
+// fieldsInto splits s around runs of whitespace into buf, exactly like
+// strings.Fields. Inputs containing non-ASCII bytes fall back to
+// strings.Fields so Unicode spaces (U+00A0, U+2028, ...) keep their
+// rune-wise treatment.
+func fieldsInto(s string, buf []string) []string {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return strings.Fields(s)
+		}
+	}
+	buf = buf[:0]
+	i := 0
+	for i < len(s) {
+		for i < len(s) && isASCIISpace(s[i]) {
+			i++
+		}
+		if i == len(s) {
+			break
+		}
+		start := i
+		for i < len(s) && !isASCIISpace(s[i]) {
+			i++
+		}
+		buf = append(buf, s[start:i])
+	}
+	return buf
+}
+
+// splitInto splits s at every occurrence of sep into buf, exactly like
+// strings.Split(s, string(sep)) — byte separators need no Unicode
+// fallback.
+func splitInto(s string, sep byte, buf []string) []string {
+	buf = buf[:0]
+	for {
+		j := strings.IndexByte(s, sep)
+		if j < 0 {
+			return append(buf, s)
+		}
+		buf = append(buf, s[:j])
+		s = s[j+1:]
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"regexp"
+
 	"strings"
 
 	"github.com/gt-elba/milliscope/internal/mxml"
@@ -50,11 +50,12 @@ func (tokenParser) parse(in io.Reader, instr Instructions, startLine int, emit E
 	if instr.Pattern == "" {
 		return nil, fmt.Errorf("parsers: token mode requires a pattern")
 	}
-	re, err := compile(instr.Pattern)
+	mt, err := compileMatcher(instr.Pattern)
 	if err != nil {
 		return nil, err
 	}
 	sc := newScanner(in)
+	var scratch matchScratch
 	lineNo := startLine - 1
 	for sc.Scan() {
 		lineNo++
@@ -62,8 +63,7 @@ func (tokenParser) parse(in io.Reader, instr Instructions, startLine int, emit E
 		if lineNo <= instr.HeaderLines || strings.TrimSpace(line) == "" {
 			continue
 		}
-		m := re.FindStringSubmatch(line)
-		if m == nil {
+		if !mt.match(line, &scratch) {
 			if instr.SkipUnmatched {
 				continue
 			}
@@ -76,9 +76,10 @@ func (tokenParser) parse(in io.Reader, instr Instructions, startLine int, emit E
 			}
 			continue
 		}
-		var e mxml.Entry
-		groupsToEntry(&e, re, m)
-		if err := applyCommon(&e, instr); err != nil {
+		e := mxml.NewEntry()
+		addGroups(&e, mt, &scratch)
+		if err := applyCommon(&e, instr, &scratch); err != nil {
+			e.Release()
 			err = fmt.Errorf("parsers: line %d: %w", lineNo, err)
 			if rec == nil {
 				return nil, err
@@ -135,20 +136,22 @@ func (linesParser) parse(in io.Reader, instr Instructions, startLine int, mid bo
 	if len(instr.Group) == 0 {
 		return nil, fmt.Errorf("parsers: lines mode requires group rules")
 	}
-	compiled := make([]*regexp.Regexp, len(instr.Group))
+	compiled := make([]*matcher, len(instr.Group))
 	for i, r := range instr.Group {
-		re, err := compile(r.Pattern)
+		mt, err := compileMatcher(r.Pattern)
 		if err != nil {
 			return nil, err
 		}
-		compiled[i] = re
+		compiled[i] = mt
 	}
 	sc := newScanner(in)
+	var scratch matchScratch
 	lineNo := startLine - 1
-	var e mxml.Entry
+	e := mxml.NewEntry()
 	var pending []TailLine
 	idx := 0
 	// divert hands the current partial record to rec and resets the state.
+	// The partial entry was never emitted, so its storage is reused.
 	divert := func(cause error) error {
 		for _, p := range pending {
 			if rerr := rec(Malformed{Line: p.Line, Text: p.Text, Err: cause}); rerr != nil {
@@ -156,7 +159,7 @@ func (linesParser) parse(in io.Reader, instr Instructions, startLine int, mid bo
 			}
 		}
 		pending = pending[:0]
-		e = mxml.Entry{}
+		e.Fields = e.Fields[:0]
 		idx = 0
 		return nil
 	}
@@ -170,9 +173,8 @@ func (linesParser) parse(in io.Reader, instr Instructions, startLine int, mid bo
 		if idx == 0 && strings.TrimSpace(line) == "" {
 			continue // blank separators between groups
 		}
-		re := compiled[idx]
-		m := re.FindStringSubmatch(line)
-		if m == nil {
+		mt := compiled[idx]
+		if !mt.match(line, &scratch) {
 			err := fmt.Errorf("parsers: line %d does not match group rule %d (%q): %q",
 				lineNo, idx, instr.Group[idx].Pattern, line)
 			if rec == nil {
@@ -191,11 +193,11 @@ func (linesParser) parse(in io.Reader, instr Instructions, startLine int, mid bo
 			}
 			continue
 		}
-		groupsToEntry(&e, re, m)
+		addGroups(&e, mt, &scratch)
 		pending = append(pending, TailLine{Line: lineNo, Text: line})
 		idx++
 		if idx == len(compiled) {
-			if err := applyCommon(&e, instr); err != nil {
+			if err := applyCommon(&e, instr, &scratch); err != nil {
 				err = fmt.Errorf("parsers: record ending line %d: %w", lineNo, err)
 				if rec == nil {
 					return nil, err
@@ -208,7 +210,7 @@ func (linesParser) parse(in io.Reader, instr Instructions, startLine int, mid bo
 			if err := emit(e); err != nil {
 				return nil, fmt.Errorf("parsers: record ending line %d: %w", lineNo, err)
 			}
-			e = mxml.Entry{}
+			e = mxml.NewEntry()
 			pending = pending[:0]
 			idx = 0
 		}

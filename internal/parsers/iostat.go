@@ -30,6 +30,8 @@ func (iostatParser) Name() string { return "iostat" }
 
 func (iostatParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
 	sc := newScanner(in)
+	var fieldBuf []string
+	var scratch matchScratch
 	lineNo := 0
 	var ts time.Time
 	haveTS := false
@@ -60,11 +62,11 @@ func (iostatParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
 			if !haveTS || cpu == nil {
 				return fmt.Errorf("parsers: iostat line %d: device row before timestamp/cpu", lineNo)
 			}
-			e, err := iostatDeviceRow(trimmed, ts, cpu)
+			e, err := iostatDeviceRow(trimmed, ts, cpu, &fieldBuf)
 			if err != nil {
 				return fmt.Errorf("parsers: iostat line %d: %w", lineNo, err)
 			}
-			if err := applyCommon(&e, instr); err != nil {
+			if err := applyCommon(&e, instr, &scratch); err != nil {
 				return fmt.Errorf("parsers: iostat line %d: %w", lineNo, err)
 			}
 			if err := emit(e); err != nil {
@@ -85,13 +87,15 @@ func (iostatParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
 	return nil
 }
 
-func iostatDeviceRow(line string, ts time.Time, cpu []string) (mxml.Entry, error) {
+func iostatDeviceRow(line string, ts time.Time, cpu []string, buf *[]string) (mxml.Entry, error) {
 	var e mxml.Entry
-	fields := strings.Fields(line)
+	fields := fieldsInto(line, *buf)
+	*buf = fields
 	if len(fields) != len(iostatDevCols)+1 {
 		return e, fmt.Errorf("device row has %d fields, want %d: %q",
 			len(fields), len(iostatDevCols)+1, line)
 	}
+	e = mxml.NewEntry()
 	e.AddTyped("ts", ts.Format(mxml.TimeLayout), "time")
 	e.Add("device", fields[0])
 	for i, c := range iostatDevCols {

@@ -154,8 +154,12 @@ func Names() []string {
 }
 
 // applyCommon applies Derive rules, Times normalization and Const fields
-// to an entry, in that order.
-func applyCommon(e *mxml.Entry, instr Instructions) error {
+// to an entry, in that order. sc is the caller's reusable match scratch;
+// nil allocates one (convenient for one-shot callers).
+func applyCommon(e *mxml.Entry, instr Instructions, sc *matchScratch) error {
+	if sc == nil && len(instr.Derive) > 0 {
+		sc = &matchScratch{}
+	}
 	for _, d := range instr.Derive {
 		src, ok := e.Get(d.Field)
 		if !ok {
@@ -164,23 +168,17 @@ func applyCommon(e *mxml.Entry, instr Instructions) error {
 			}
 			return fmt.Errorf("parsers: derive source field %q absent", d.Field)
 		}
-		re, err := compile(d.Pattern)
+		m, err := compileMatcher(d.Pattern)
 		if err != nil {
 			return err
 		}
-		m := re.FindStringSubmatch(src)
-		if m == nil {
+		if !m.match(src, sc) {
 			if d.Optional {
 				continue
 			}
 			return fmt.Errorf("parsers: derive pattern %q did not match %q", d.Pattern, src)
 		}
-		for i, name := range re.SubexpNames() {
-			if i == 0 || name == "" {
-				continue
-			}
-			e.Add(name, m[i])
-		}
+		addGroups(e, m, sc)
 	}
 	for _, tr := range instr.Times {
 		for i := range e.Fields {
@@ -201,41 +199,135 @@ func applyCommon(e *mxml.Entry, instr Instructions) error {
 	return nil
 }
 
-// compile caches compiled patterns; declarations reuse a small set of
-// regexes across millions of lines.
-func compile(pattern string) (*regexp.Regexp, error) {
-	reCacheMu.RLock()
-	re, ok := reCache[pattern]
-	reCacheMu.RUnlock()
+// matcher pairs the regexp compilation of a pattern with its byte-slice
+// tokenizer when the pattern fits the tokenizer dialect. The regexp is
+// always kept: chunk boundaries need it, and it is the semantic reference
+// the tokenizer must agree with.
+type matcher struct {
+	re    *regexp.Regexp
+	tok   *tokenizer // nil when the pattern falls outside the dialect
+	names []string   // named groups, in order of appearance
+	idx   []int      // regexp submatch index for each name
+}
+
+// matchScratch holds per-caller reusable match state so the hot loop
+// performs no per-line allocation.
+type matchScratch struct {
+	slots []int
+	vals  []string
+}
+
+func (sc *matchScratch) grow(n int) {
+	if cap(sc.vals) < n {
+		sc.vals = make([]string, n)
+		sc.slots = make([]int, 2*n)
+	}
+	sc.vals = sc.vals[:n]
+	sc.slots = sc.slots[:2*n]
+}
+
+// match tests s and, on success, fills sc.vals with one value per
+// m.names. The tokenizer and regexp paths produce identical values
+// (pinned by FuzzTokenizerEquivalence).
+func (m *matcher) match(s string, sc *matchScratch) bool {
+	sc.grow(len(m.names))
+	if m.tok != nil {
+		if !m.tok.find(s, sc.slots) {
+			return false
+		}
+		for i := range m.names {
+			sc.vals[i] = s[sc.slots[2*i]:sc.slots[2*i+1]]
+		}
+		return true
+	}
+	g := m.re.FindStringSubmatch(s)
+	if g == nil {
+		return false
+	}
+	for i, gi := range m.idx {
+		sc.vals[i] = g[gi]
+	}
+	return true
+}
+
+// compileMatcher caches compiled patterns; declarations reuse a small set
+// of patterns across millions of lines. The cache is bounded: once full,
+// an arbitrary entry is evicted to make room. Evicted matchers stay valid
+// for any goroutine already holding them — values are immutable — so
+// eviction can never break a concurrent parser, only cost a recompile.
+func compileMatcher(pattern string) (*matcher, error) {
+	matcherCacheMu.RLock()
+	m, ok := matcherCache[pattern]
+	matcherCacheMu.RUnlock()
 	if ok {
-		return re, nil
+		return m, nil
 	}
 	re, err := regexp.Compile(pattern)
 	if err != nil {
 		return nil, fmt.Errorf("parsers: compile %q: %w", pattern, err)
 	}
-	reCacheMu.Lock()
-	if len(reCache) < 256 {
-		reCache[pattern] = re
-	}
-	reCacheMu.Unlock()
-	return re, nil
-}
-
-// reCache is populated lazily. The batch transformer parses files
-// sequentially, but the live pipeline runs one parser goroutine per tailed
-// source, so the cache is lock-guarded.
-var (
-	reCacheMu sync.RWMutex
-	reCache   = make(map[string]*regexp.Regexp)
-)
-
-// groupsToEntry appends every named group of a match to the entry.
-func groupsToEntry(e *mxml.Entry, re *regexp.Regexp, m []string) {
+	m = &matcher{re: re}
 	for i, name := range re.SubexpNames() {
 		if i == 0 || name == "" {
 			continue
 		}
-		e.Add(name, m[i])
+		m.names = append(m.names, name)
+		m.idx = append(m.idx, i)
+	}
+	if tok := compileTokenizer(pattern); tok != nil && equalNames(tok.names, m.names) {
+		m.tok = tok
+	}
+	matcherCacheMu.Lock()
+	if len(matcherCache) >= matcherCacheCap {
+		for k := range matcherCache {
+			delete(matcherCache, k)
+			break
+		}
+	}
+	matcherCache[pattern] = m
+	matcherCacheMu.Unlock()
+	return m, nil
+}
+
+// equalNames guards the tokenizer against ever disagreeing with the
+// regexp about which groups a pattern captures.
+func equalNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// compile returns the cached regexp compilation of pattern (chunk-boundary
+// declarations match with regexp directly).
+func compile(pattern string) (*regexp.Regexp, error) {
+	m, err := compileMatcher(pattern)
+	if err != nil {
+		return nil, err
+	}
+	return m.re, nil
+}
+
+// matcherCache is populated lazily. The batch transformer parses files
+// sequentially, but the live pipeline runs one parser goroutine per tailed
+// source, so the cache is lock-guarded. matcherCacheCap bounds it against
+// synthesized-pattern floods (fuzzing, chaos).
+const matcherCacheCap = 256
+
+var (
+	matcherCacheMu sync.RWMutex
+	matcherCache   = make(map[string]*matcher)
+)
+
+// addGroups appends every named group of the scratch's current match to
+// the entry.
+func addGroups(e *mxml.Entry, m *matcher, sc *matchScratch) {
+	for i, name := range m.names {
+		e.Add(name, sc.vals[i])
 	}
 }

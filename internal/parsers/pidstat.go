@@ -21,6 +21,8 @@ func (pidstatParser) Name() string { return "pidstat" }
 
 func (pidstatParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
 	sc := newScanner(in)
+	var fieldBuf []string
+	var scratch matchScratch
 	var date time.Time
 	haveDate := false
 	sawHeader := false
@@ -45,11 +47,11 @@ func (pidstatParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
 			if !haveDate || !sawHeader {
 				return fmt.Errorf("parsers: pidstat line %d: data before banner/header", lineNo)
 			}
-			e, err := pidstatRow(trimmed, date)
+			e, err := pidstatRow(trimmed, date, &fieldBuf)
 			if err != nil {
 				return fmt.Errorf("parsers: pidstat line %d: %w", lineNo, err)
 			}
-			if err := applyCommon(&e, instr); err != nil {
+			if err := applyCommon(&e, instr, &scratch); err != nil {
 				return fmt.Errorf("parsers: pidstat line %d: %w", lineNo, err)
 			}
 			if err := emit(e); err != nil {
@@ -64,9 +66,10 @@ func (pidstatParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
 }
 
 // pidstatRow parses "HH:MM:SS.mmm uid pid %usr %system %guest %cpu core cmd".
-func pidstatRow(line string, date time.Time) (mxml.Entry, error) {
+func pidstatRow(line string, date time.Time, buf *[]string) (mxml.Entry, error) {
 	var e mxml.Entry
-	fields := strings.Fields(line)
+	fields := fieldsInto(line, *buf)
+	*buf = fields
 	if len(fields) != 9 {
 		return e, fmt.Errorf("row has %d fields, want 9: %q", len(fields), line)
 	}
@@ -76,6 +79,7 @@ func pidstatRow(line string, date time.Time) (mxml.Entry, error) {
 	}
 	ts := time.Date(date.Year(), date.Month(), date.Day(),
 		clock.Hour(), clock.Minute(), clock.Second(), clock.Nanosecond(), time.UTC)
+	e = mxml.NewEntry()
 	e.AddTyped("ts", ts.Format(mxml.TimeLayout), "time")
 	e.Add("uid", fields[1])
 	e.Add("pid", fields[2])

@@ -23,6 +23,8 @@ func (sarParser) Name() string { return "sar" }
 
 func (sarParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
 	sc := newScanner(in)
+	var fieldBuf []string
+	var scratch matchScratch
 	var date time.Time
 	haveDate := false
 	var cols []string // column names from the last header row, sans ts/CPU
@@ -50,11 +52,11 @@ func (sarParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
 			if cols == nil {
 				return fmt.Errorf("parsers: sar line %d: data before column header", lineNo)
 			}
-			e, err := sarDataRow(line, date, cols)
+			e, err := sarDataRow(line, date, cols, &fieldBuf)
 			if err != nil {
 				return fmt.Errorf("parsers: sar line %d: %w", lineNo, err)
 			}
-			if err := applyCommon(&e, instr); err != nil {
+			if err := applyCommon(&e, instr, &scratch); err != nil {
 				return fmt.Errorf("parsers: sar line %d: %w", lineNo, err)
 			}
 			if err := emit(e); err != nil {
@@ -92,9 +94,10 @@ func sarHeaderColumns(line string) []string {
 }
 
 // sarDataRow parses "HH:MM:SS.mmm  all  v1 v2 ..." against the column set.
-func sarDataRow(line string, date time.Time, cols []string) (mxml.Entry, error) {
+func sarDataRow(line string, date time.Time, cols []string, buf *[]string) (mxml.Entry, error) {
 	var e mxml.Entry
-	fields := strings.Fields(line)
+	fields := fieldsInto(line, *buf)
+	*buf = fields
 	if len(fields) != len(cols)+2 {
 		return e, fmt.Errorf("row has %d fields, want %d: %q", len(fields), len(cols)+2, line)
 	}
@@ -104,6 +107,7 @@ func sarDataRow(line string, date time.Time, cols []string) (mxml.Entry, error) 
 	}
 	ts := time.Date(date.Year(), date.Month(), date.Day(),
 		clock.Hour(), clock.Minute(), clock.Second(), clock.Nanosecond(), time.UTC)
+	e = mxml.NewEntry()
 	e.AddTyped("ts", ts.Format(mxml.TimeLayout), "time")
 	e.Add("cpu", fields[1])
 	for i, c := range cols {

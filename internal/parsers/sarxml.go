@@ -66,7 +66,7 @@ func (sarXMLParser) Parse(in io.Reader, instr Instructions, emit Emit) error {
 			}
 		case xml.EndElement:
 			if t.Name.Local == "timestamp" && cur != nil {
-				if err := applyCommon(cur, instr); err != nil {
+				if err := applyCommon(cur, instr, nil); err != nil {
 					return fmt.Errorf("parsers: sar-xml: %w", err)
 				}
 				if err := emit(*cur); err != nil {

@@ -1,0 +1,263 @@
+package transform
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/logfmt"
+	"github.com/gt-elba/milliscope/internal/mscopedb"
+	"github.com/gt-elba/milliscope/internal/mxml"
+	"github.com/gt-elba/milliscope/internal/simtime"
+	"github.com/gt-elba/milliscope/internal/xmlcsv"
+)
+
+// normalizeStagedReport blanks the fields that legitimately differ between
+// a staged and a direct run: only the staged pipeline writes (and reports)
+// an annotated-XML artifact.
+func normalizeStagedReport(rep Report) Report {
+	rep = normalizeReport(rep)
+	for i := range rep.Files {
+		rep.Files[i].MXMLPath = ""
+	}
+	return rep
+}
+
+// runStagedVsDirect ingests logDir twice into fresh warehouses — once
+// through the staged pipeline (Materialize), once through the default
+// direct path — and asserts byte-identical warehouse dumps plus identical
+// reports, quarantine sinks, and errors.
+func runStagedVsDirect(t *testing.T, logDir string, opts Options) {
+	t.Helper()
+	// One shared work dir: the ledger rows embed staged-artifact paths
+	// under it, so both runs must agree on the prefix. The direct run
+	// never reads the staged run's artifacts.
+	workDir := t.TempDir()
+	qS, qD := filepath.Join(t.TempDir(), "qs"), filepath.Join(t.TempDir(), "qd")
+
+	optsS := opts
+	optsS.Materialize = true
+	optsS.QuarantineDir = qS
+	dbS := mscopedb.Open()
+	repS, errS := IngestDirWithOptions(dbS, logDir, workDir, DefaultPlan(), optsS)
+
+	optsD := opts
+	optsD.Materialize = false
+	optsD.QuarantineDir = qD
+	dbD := mscopedb.Open()
+	repD, errD := IngestDirWithOptions(dbD, logDir, workDir, DefaultPlan(), optsD)
+
+	if (errS == nil) != (errD == nil) || (errS != nil && errS.Error() != errD.Error()) {
+		t.Fatalf("ingest errors differ:\nstaged %v\ndirect %v", errS, errD)
+	}
+	s, d := normalizeStagedReport(repS), normalizeStagedReport(repD)
+	if fmt.Sprintf("%+v", s) != fmt.Sprintf("%+v", d) {
+		t.Errorf("reports differ:\nstaged %+v\ndirect %+v", s, d)
+	}
+	sinkS, sinkD := readDirContents(t, qS), readDirContents(t, qD)
+	if fmt.Sprintf("%v", sinkS) != fmt.Sprintf("%v", sinkD) {
+		t.Errorf("quarantine sinks differ:\nstaged %v\ndirect %v", sinkS, sinkD)
+	}
+	if ds, dd := dumpBytes(t, dbS), dumpBytes(t, dbD); !bytes.Equal(ds, dd) {
+		t.Errorf("warehouse dumps differ: staged %d bytes, direct %d bytes", len(ds), len(dd))
+	}
+}
+
+func TestDirectMatchesStagedClean(t *testing.T) {
+	logDir := writeSyntheticDir(t, false)
+	for _, workers := range []int{1, 4} {
+		runStagedVsDirect(t, logDir, Options{Workers: workers, ChunkSize: 2 << 10})
+		runStagedVsDirect(t, logDir, Options{Workers: workers, ChunkSize: 2 << 10, Policy: Quarantine})
+	}
+}
+
+func TestDirectMatchesStagedCorrupted(t *testing.T) {
+	logDir := writeSyntheticDir(t, true)
+	for _, workers := range []int{1, 4} {
+		base := Options{Workers: workers, ChunkSize: 2 << 10}
+		// Generous budget: damage quarantines but files stay accepted.
+		o := base
+		o.Policy, o.ErrorBudget = Quarantine, 0.5
+		runStagedVsDirect(t, logDir, o)
+		// Tight budget: some files are rejected; Failed lists must agree.
+		o.ErrorBudget = 0.01
+		runStagedVsDirect(t, logDir, o)
+		// FailFast: both paths must abort with the identical first error and
+		// an identical (partial) warehouse.
+		runStagedVsDirect(t, logDir, base)
+	}
+}
+
+// TestDirectMatchesStagedNastyBytes drives bytes through the pipeline that
+// make the staged XML and CSV round trips non-trivial: invalid UTF-8,
+// XML-illegal control characters, and multi-byte runes inside URL fields.
+// The direct path must reproduce the staged normalizations exactly.
+func TestDirectMatchesStagedNastyBytes(t *testing.T) {
+	dir := t.TempDir()
+	nasty := []string{
+		"/p\x80q",            // lone continuation byte
+		"/a\xff\xfeb",        // invalid lead bytes
+		"/bell\x01end",       // XML-illegal control char
+		"/del\x7fok",         // legal control-adjacent byte
+		"/caf\xc3\xa9/日",     // valid multi-byte runes
+		"/truncated\xe6\x97", // truncated multi-byte rune
+	}
+	var b strings.Builder
+	for i, u := range nasty {
+		ua := simtime.Epoch.Add(time.Duration(i) * 3 * time.Millisecond)
+		ud := ua.Add(time.Duration(i+1) * time.Millisecond)
+		ds := ua.Add(500 * time.Microsecond)
+		b.WriteString(logfmt.ApacheAccess("10.0.0.9", "GET", u, 200, 1000+i, ua, ud, ds, ud))
+		b.WriteByte('\n')
+	}
+	if err := os.WriteFile(filepath.Join(dir, "nasty_access.log"), []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runStagedVsDirect(t, dir, Options{})
+	runStagedVsDirect(t, dir, Options{Workers: 4, ChunkSize: 64})
+}
+
+// TestMaterializeArtifactsGolden pins --materialize to the pre-direct-path
+// staged outputs: the XML and CSV artifacts an IngestDirWithOptions with
+// Materialize writes must be byte-identical to what TransformFile and
+// ConvertFile produce for the same inputs.
+func TestMaterializeArtifactsGolden(t *testing.T) {
+	logDir := writeSyntheticDir(t, false)
+	ingWork := t.TempDir()
+	db := mscopedb.Open()
+	rep, err := IngestDirWithOptions(db, logDir, ingWork, DefaultPlan(), Options{Materialize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Files) == 0 {
+		t.Fatal("materialized ingest transformed nothing")
+	}
+	refWork := t.TempDir()
+	for _, fr := range rep.Files {
+		b, ok := DefaultPlan().Find(fr.Input)
+		if !ok {
+			t.Fatalf("no binding for %s", fr.Input)
+		}
+		ref, err := TransformFile(fr.Input, b, refWork)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conv, err := xmlcsv.ConvertFile(ref.MXMLPath, refWork)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs := [][2]string{
+			{fr.MXMLPath, ref.MXMLPath},
+			{filepath.Join(ingWork, fr.Table+".csv"), conv.CSVPath},
+			{filepath.Join(ingWork, fr.Table+".schema.json"), conv.SchemaPath},
+		}
+		for _, pair := range pairs {
+			got, err := os.ReadFile(pair[0])
+			if err != nil {
+				t.Fatalf("materialized artifact missing: %v", err)
+			}
+			want, err := os.ReadFile(pair[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s differs from staged reference %s (%d vs %d bytes)",
+					pair[0], pair[1], len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestCSVRoundTripMatchesEncodingCSV pins csvRoundTrip to what a real
+// encoding/csv write→read cycle does to a cell.
+func TestCSVRoundTripMatchesEncodingCSV(t *testing.T) {
+	vals := []string{
+		"plain", "", "a,b", `quo"te`, "line\nbreak", "cr\rmid", "crlf\r\nend",
+		"\r\n", "trailing\r", "\rleading", "a\r\n\r\nb", "mixed\r\rnot\ncrlf",
+	}
+	for _, v := range vals {
+		var buf bytes.Buffer
+		w := csv.NewWriter(&buf)
+		// The pad cell keeps a lone empty value from becoming a blank line,
+		// matching real converter output (tables always have the pad of
+		// other columns or the writer's "" quoting).
+		if err := w.Write([]string{v, "pad"}); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+		r := csv.NewReader(&buf)
+		rec, err := r.Read()
+		if err != nil {
+			t.Fatalf("read back %q: %v", v, err)
+		}
+		if rec[0] != csvRoundTrip(v) {
+			t.Errorf("csvRoundTrip(%q) = %q, want %q", v, csvRoundTrip(v), rec[0])
+		}
+	}
+}
+
+// TestNormalizeXMLMatchesConverter runs nasty field values through the
+// real staged machinery — mxml writer, converter, CSV reader — and checks
+// each recovered cell equals csvRoundTrip(normalizeXML(value)).
+func TestNormalizeXMLMatchesConverter(t *testing.T) {
+	vals := []string{
+		"plain", "tab\there", "nl\nthere", "cr\rhere", "crlf\r\npair",
+		"caf\xc3\xa9", "\x80", "a\xff\xfeb", "ctl\x01\x02", "\x0bvt",
+		"del\x7f", "�-literal", "surrogate\xed\xa0\x80tail",
+		"\xe6\x97", "mix\x80\r\n\x01end",
+	}
+	work := t.TempDir()
+	mxmlPath := filepath.Join(work, "nasty_vals.mxml")
+	f, err := os.Create(mxmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mxml.NewWriter(f)
+	if err := w.Open(mxml.Meta{Source: "test", Host: "nasty", Table: "nasty_vals"}); err != nil {
+		t.Fatal(err)
+	}
+	var e mxml.Entry
+	for i, v := range vals {
+		e.Add(fmt.Sprintf("c%02d", i), v)
+	}
+	if err := w.WriteEntry(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	conv, err := xmlcsv.ConvertFile(mxmlPath, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(conv.CSVPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(bytes.NewReader(data)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("converter produced %d rows, want header + 1", len(rows))
+	}
+	head, cells := rows[0], rows[1]
+	byName := map[string]string{}
+	for i, h := range head {
+		byName[h] = cells[i]
+	}
+	for i, v := range vals {
+		want := csvRoundTrip(normalizeXML(v))
+		if got := byName[fmt.Sprintf("c%02d", i)]; got != want {
+			t.Errorf("value %d (%q): converter produced %q, direct normalization %q", i, v, got, want)
+		}
+	}
+}

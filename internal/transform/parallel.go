@@ -214,17 +214,27 @@ func processFile(ctx context.Context, sem *semaphore, j *fileJob, workDir string
 		defer sem.release()
 		var fr FileResult
 		var err error
-		sp := obs.Begin(selfobs.PipeIngest, "parse", "whole", j.name)
-		if opts.Policy == Quarantine {
-			fr, err = transformFileDegraded(j.full, b, workDir, opts)
-		} else {
-			fr, err = TransformFile(j.full, b, workDir)
+		if opts.Materialize {
+			sp := obs.Begin(selfobs.PipeIngest, "parse", "whole", j.name)
+			if opts.Policy == Quarantine {
+				fr, err = transformFileDegraded(j.full, b, workDir, opts)
+			} else {
+				fr, err = TransformFile(j.full, b, workDir)
+			}
+			if err != nil {
+				return fileOutcome{err: err}
+			}
+			sp.End(int64(fr.Entries), int64(fr.Quarantined))
+			return finishFile(fr, workDir, obs, j.name)
 		}
+		sp := obs.Begin(selfobs.PipeIngest, "parse", "whole", j.name)
+		set := newEntrySet()
+		fr, err = directParse(j.full, b, workDir, opts, set)
 		if err != nil {
 			return fileOutcome{err: err}
 		}
 		sp.End(int64(fr.Entries), int64(fr.Quarantined))
-		return finishFile(fr, workDir, obs, j.name)
+		return finishDirect(fr, set, workDir, obs, j.name)
 	}
 	return processChunked(ctx, sem, j, cp, bnd, chunkSize, workDir, opts, obs)
 }
@@ -281,6 +291,24 @@ func processChunked(ctx context.Context, sem *semaphore, j *fileJob, cp parsers.
 		return fileOutcome{err: fmt.Errorf("transform: %s: %w", j.full, parseErr)}
 	}
 
+	if !opts.Materialize {
+		// Direct path: the stitched entries feed inference and the table
+		// build in memory; no annotated-XML artifact is written.
+		fr.Entries = len(entries)
+		if degraded {
+			if err := opts.checkBudget(fr, j.full); err != nil {
+				return fileOutcome{fr: fr, err: err}
+			}
+		}
+		set := newEntrySet()
+		for _, e := range entries {
+			if err := set.add(e); err != nil {
+				return fileOutcome{err: err}
+			}
+		}
+		return finishDirect(fr, set, workDir, obs, j.name)
+	}
+
 	sp = obs.Begin(selfobs.PipeIngest, "mxmlwrite", "whole", j.name)
 	mxmlPath := filepath.Join(workDir, table+".mxml")
 	outF, err := os.Create(mxmlPath)
@@ -327,4 +355,23 @@ func finishFile(fr FileResult, workDir string, obs *selfobs.Buf, name string) fi
 	}
 	sp.End(int64(tbl.Rows()), 0)
 	return fileOutcome{fr: fr, tbl: tbl, csvPath: conv.CSVPath}
+}
+
+// finishDirect is finishFile's direct-path counterpart: finalize schema
+// inference and build the table straight from the in-memory entry set.
+func finishDirect(fr FileResult, set *entrySet, workDir string, obs *selfobs.Buf, name string) fileOutcome {
+	sp := obs.Begin(selfobs.PipeIngest, "convert", "whole", name)
+	cols, err := set.columns(filepath.Join(workDir, fr.Table+".mxml"))
+	if err != nil {
+		return fileOutcome{err: err}
+	}
+	sp.End(int64(fr.Entries), 0)
+	sp = obs.Begin(selfobs.PipeIngest, "build", "whole", name)
+	csvPath := filepath.Join(workDir, fr.Table+".csv")
+	tbl, err := set.buildTable(fr.Table, cols, csvPath)
+	if err != nil {
+		return fileOutcome{err: err}
+	}
+	sp.End(int64(tbl.Rows()), 0)
+	return fileOutcome{fr: fr, tbl: tbl, csvPath: csvPath}
 }

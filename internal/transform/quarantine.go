@@ -80,6 +80,12 @@ type Options struct {
 	// file across workers; zero means DefaultChunkSize. Files smaller than
 	// two chunks are parsed whole.
 	ChunkSize int
+	// Materialize restores the staged pipeline: annotated-XML and CSV
+	// artifacts are written to workDir between stages instead of streaming
+	// entries from parser to warehouse in memory. The warehouse contents
+	// are identical either way (the differential suite proves it); the
+	// staged artifacts only matter when they are wanted for inspection.
+	Materialize bool
 }
 
 // ErrFileRejected marks a per-file quarantine-mode rejection: the file's
@@ -313,34 +319,65 @@ func IngestDirWithOptions(db *mscopedb.DB, logDir, workDir string, plan *Plan, o
 			}
 		}
 		var fr FileResult
+		var loaded importer.Loaded
 		sp := obs.Begin(selfobs.PipeIngest, "parse", "serial", name)
-		if opts.Policy == Quarantine {
-			fr, err = transformFileDegraded(full, b, workDir, opts)
+		if opts.Materialize {
+			if opts.Policy == Quarantine {
+				fr, err = transformFileDegraded(full, b, workDir, opts)
+				if err != nil {
+					if errors.Is(err, ErrFileRejected) {
+						rep.Failed = append(rep.Failed, FileFailure{Input: full, Err: err})
+						continue
+					}
+					return rep, err
+				}
+			} else {
+				fr, err = TransformFile(full, b, workDir)
+				if err != nil {
+					return rep, err
+				}
+			}
+			sp.End(int64(fr.Entries), int64(fr.Quarantined))
+			rep.Files = append(rep.Files, fr)
+			sp = obs.Begin(selfobs.PipeIngest, "convert", "serial", name)
+			conv, err := xmlcsv.ConvertFile(fr.MXMLPath, workDir)
 			if err != nil {
-				if errors.Is(err, ErrFileRejected) {
+				return rep, err
+			}
+			sp.End(int64(fr.Entries), 0)
+			sp = obs.Begin(selfobs.PipeIngest, "append", "serial", name)
+			loaded, err = importer.LoadFile(db, conv.CSVPath, conv.SchemaPath)
+			if err != nil {
+				return rep, err
+			}
+		} else {
+			set := newEntrySet()
+			fr, err = directParse(full, b, workDir, opts, set)
+			if err != nil {
+				if opts.Policy == Quarantine && errors.Is(err, ErrFileRejected) {
 					rep.Failed = append(rep.Failed, FileFailure{Input: full, Err: err})
 					continue
 				}
 				return rep, err
 			}
-		} else {
-			fr, err = TransformFile(full, b, workDir)
+			sp.End(int64(fr.Entries), int64(fr.Quarantined))
+			rep.Files = append(rep.Files, fr)
+			sp = obs.Begin(selfobs.PipeIngest, "convert", "serial", name)
+			cols, err := set.columns(filepath.Join(workDir, fr.Table+".mxml"))
 			if err != nil {
 				return rep, err
 			}
-		}
-		sp.End(int64(fr.Entries), int64(fr.Quarantined))
-		rep.Files = append(rep.Files, fr)
-		sp = obs.Begin(selfobs.PipeIngest, "convert", "serial", name)
-		conv, err := xmlcsv.ConvertFile(fr.MXMLPath, workDir)
-		if err != nil {
-			return rep, err
-		}
-		sp.End(int64(fr.Entries), 0)
-		sp = obs.Begin(selfobs.PipeIngest, "append", "serial", name)
-		loaded, err := importer.LoadFile(db, conv.CSVPath, conv.SchemaPath)
-		if err != nil {
-			return rep, err
+			sp.End(int64(fr.Entries), 0)
+			sp = obs.Begin(selfobs.PipeIngest, "append", "serial", name)
+			csvPath := filepath.Join(workDir, fr.Table+".csv")
+			tbl, err := set.buildTable(fr.Table, cols, csvPath)
+			if err != nil {
+				return rep, err
+			}
+			loaded, err = importer.Install(db, tbl, csvPath)
+			if err != nil {
+				return rep, err
+			}
 		}
 		// Ledger the source file at its consumed size so a re-ingest of
 		// the same directory into this warehouse skips it.
