@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet selfobs-lint test test-short race race-short bench bench-check overhead-check profile-ingest cover fuzz chaos live-smoke experiment clean
+.PHONY: all build vet selfobs-lint test test-short race race-short bench bench-check overhead-check fidelity-check overload-soak profile-ingest cover fuzz chaos live-smoke experiment clean
 
-all: build vet selfobs-lint race-short live-smoke test bench-check overhead-check
+all: build vet selfobs-lint race-short live-smoke test bench-check overhead-check fidelity-check overload-soak
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,19 @@ bench-check:
 overhead-check:
 	$(GO) test -run xxx -bench BenchmarkSelfObsOverhead -benchtime 3x . 2>&1 | tee selfobs_bench_output.txt
 	$(GO) run ./cmd/benchcheck --input selfobs_bench_output.txt BENCH_selfobs.json
+
+# Degradation contract gate: aggregate fidelity must retain >= 10x fewer
+# rows on clean traffic and the adaptive controller may cost an idle
+# pipeline at most 10% (absolute bounds in BENCH_fidelity.json).
+fidelity-check:
+	$(GO) test -run xxx -bench BenchmarkFidelity -benchtime 3x . 2>&1 | tee fidelity_bench_output.txt
+	$(GO) run ./cmd/benchcheck --input fidelity_bench_output.txt BENCH_fidelity.json
+
+# Overload chaos drill under the race detector: a 12x burst replay against
+# a throttled consumer must stay in bounded memory, degrade and recover
+# with hysteresis, and still raise the disk-IO verdict.
+overload-soak:
+	$(GO) test -race -run TestOverloadSoak -v ./internal/stream/
 
 # Profile the serial batch ingest: writes CPU and allocation profiles of
 # BenchmarkIngestBatch for `go tool pprof`. This is the loop the

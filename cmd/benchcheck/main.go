@@ -92,6 +92,7 @@ var unitToKey = map[string]string{
 	"B/op":            "bytes_per_op",
 	"allocs/op":       "allocs_per_op",
 	"overhead_pct":    "overhead_pct",
+	"reduction_x":     "reduction_x",
 	"disabled_ns":     "disabled_ns",
 	"instrumented_ns": "instrumented_ns",
 	"ns/line":         "ns_per_line",

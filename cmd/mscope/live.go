@@ -36,6 +36,11 @@ func cmdLive(args []string) error {
 	budget := fs.Float64("budget", 0, "quarantine error budget per source (0 = default 5%)")
 	expectAlert := fs.Bool("expect-alert", false, "exit nonzero unless at least one alert fired")
 	rotate := fs.Float64("rotate", 0, "rotate (truncate) event logs at this replay fraction, 0 = never")
+	fidelity := fs.String("fidelity", "", "degradation mode: full | adaptive | aggregate (default full)")
+	ringCap := fs.Int("ring-cap", 0, "per-source promotion ring capacity (default 8192)")
+	rollupWin := fs.Duration("rollup-window", 0, "aggregate rollup window (default 1s)")
+	overloadSpec := fs.String("overload", "",
+		"overload injector: at=F,until=F,factor=N[,delay=D] bursts the replay and throttles the consumer")
 	users := fs.Int("users", 0, "override concurrent users")
 	duration := fs.Duration("duration", 0, "override trial duration")
 	seed := fs.Int64("seed", 0, "override random seed")
@@ -75,6 +80,21 @@ func cmdLive(args []string) error {
 		}
 	}
 
+	var overload *milliscope.Overload
+	if *overloadSpec != "" {
+		o, err := milliscope.ParseOverload(*overloadSpec)
+		if err != nil {
+			return fmt.Errorf("live: %w", err)
+		}
+		overload = &o
+	}
+	switch *fidelity {
+	case "", milliscope.FidelityModeFull, milliscope.FidelityModeAdaptive,
+		milliscope.FidelityModeAggregate:
+	default:
+		return fmt.Errorf("live: unknown --fidelity %q (full | adaptive | aggregate)", *fidelity)
+	}
+
 	producer, err := milliscope.NewLiveProducer(milliscope.LiveProducerConfig{
 		SrcDir:    stageDir,
 		DstDir:    liveDir,
@@ -82,6 +102,7 @@ func cmdLive(args []string) error {
 		ChaosRate: *chaosRate,
 		ChaosSeed: *chaosSeed,
 		RotateAt:  *rotate,
+		Overload:  overload,
 	})
 	if err != nil {
 		return err
@@ -90,20 +111,29 @@ func cmdLive(args []string) error {
 		fmt.Print(producer.ChaosReport.Summary())
 	}
 
-	pipe, err := milliscope.NewLivePipeline(milliscope.LiveConfig{
+	liveCfg := milliscope.LiveConfig{
 		LogDir:      liveDir,
 		DB:          db,
 		Window:      *window,
 		Poll:        *poll,
 		Grace:       *grace,
 		ErrorBudget: *budget,
-		OnAlert: func(a milliscope.LiveAlert) {
-			fmt.Printf("ALERT @%s watermark=%dus window=[%d,%d]us: %s\n",
-				a.Raised.Format("15:04:05.000"), a.WatermarkUS,
-				a.Diagnosis.Window.StartMicros, a.Diagnosis.Window.EndMicros,
-				a.Diagnosis.Verdict)
+		Fidelity: milliscope.LiveFidelityOptions{
+			Mode:         *fidelity,
+			RingCap:      *ringCap,
+			RollupWindow: *rollupWin,
 		},
-	})
+	}
+	if overload != nil {
+		liveCfg.ConsumerDelay = overload.ConsumerDelay
+	}
+	liveCfg.OnAlert = func(a milliscope.LiveAlert) {
+		fmt.Printf("ALERT @%s watermark=%dus window=[%d,%d]us: %s\n",
+			a.Raised.Format("15:04:05.000"), a.WatermarkUS,
+			a.Diagnosis.Window.StartMicros, a.Diagnosis.Window.EndMicros,
+			a.Diagnosis.Verdict)
+	}
+	pipe, err := milliscope.NewLivePipeline(liveCfg)
 	if err != nil {
 		return err
 	}
@@ -148,6 +178,11 @@ func cmdLive(args []string) error {
 	st := pipe.Status()
 	fmt.Printf("live session: %d rows (%.0f rows/sec), %d quarantined, %d alerts\n",
 		st.Rows, st.RowsPerSec, st.Quarantined, st.Alerts)
+	if f := st.Fidelity; f != nil {
+		fmt.Printf("fidelity %s: state=%s rolled-up=%d promoted=%d shed=%d rollup-rows=%d ring-rows=%d transitions=%d stalls=%d\n",
+			f.Mode, f.State, f.RowsRolledUp, f.RowsPromoted, f.RowsShed,
+			f.RollupRows, f.RingRows, f.Transitions, st.Stalls)
+	}
 	for _, s := range st.Sources {
 		line := fmt.Sprintf("  %-28s → %-22s %8d rows @%d bytes [%s]",
 			s.File, s.Table, s.Rows, s.Offset, s.State)

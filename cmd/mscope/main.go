@@ -168,6 +168,8 @@ func cmdChaos(args []string) error {
 	skewMax := fs.Duration("skew-max", 0, "clock-skew bound for the skew kind (default 2ms)")
 	gap := fs.Float64("gap", 0, "resource-sample loss fraction for the gap kind (default 8%)")
 	deleteTiers := fs.String("delete-tiers", "", "comma-separated tiers whose event logs the delete-tier kind removes")
+	overloadSpec := fs.String("overload", "",
+		"write an overload.json sidecar (at=F,until=F,factor=N[,delay=D]) so replays of the output burst")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -190,6 +192,17 @@ func cmdChaos(args []string) error {
 		return err
 	}
 	fmt.Print(rep.Summary())
+	if *overloadSpec != "" {
+		o, err := milliscope.ParseOverload(*overloadSpec)
+		if err != nil {
+			return fmt.Errorf("chaos: %w", err)
+		}
+		if err := o.WriteSidecar(*out); err != nil {
+			return err
+		}
+		fmt.Printf("overload sidecar written — `mscope live` replays of %s will burst %.0fx over [%.0f%%,%.0f%%]\n",
+			*out, o.BurstFactor, o.BurstAt*100, o.BurstUntil*100)
+	}
 	fmt.Printf("corrupted copy in %s — ingest it with --mode quarantine\n", *out)
 	return nil
 }

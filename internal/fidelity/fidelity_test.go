@@ -1,0 +1,96 @@
+package fidelity
+
+import "testing"
+
+func evalN(c *Controller, p Pressure, n int) (changed int) {
+	for i := 0; i < n; i++ {
+		if _, ch := c.Eval(p); ch {
+			changed++
+		}
+	}
+	return changed
+}
+
+func TestControllerDwellGatesTransition(t *testing.T) {
+	c := NewController(Config{Dwell: 4})
+	hot := Pressure{Queue: 0.9}
+	for i := 0; i < 3; i++ {
+		if st, ch := c.Eval(hot); ch || st != Full {
+			t.Fatalf("eval %d: transitioned early (state %v)", i, st)
+		}
+	}
+	st, ch := c.Eval(hot)
+	if !ch || st != Aggregate {
+		t.Fatalf("4th hot eval: state %v changed=%v, want aggregate transition", st, ch)
+	}
+	if n := len(c.Transitions()); n != 1 {
+		t.Errorf("%d transitions logged, want 1", n)
+	}
+}
+
+func TestControllerStreakResetsOnDisagreement(t *testing.T) {
+	c := NewController(Config{Dwell: 3})
+	hot, cool := Pressure{Queue: 0.9}, Pressure{Queue: 0.1}
+	c.Eval(hot)
+	c.Eval(hot)
+	c.Eval(cool) // breaks the streak
+	if st, ch := c.Eval(hot); ch || st != Full {
+		t.Fatalf("streak did not reset: state %v changed=%v", st, ch)
+	}
+}
+
+func TestControllerHysteresisNoFlapping(t *testing.T) {
+	// A score hovering between Exit and Enter must hold whatever state the
+	// controller is in — in both directions.
+	c := NewController(Config{Enter: 0.75, Exit: 0.35, Dwell: 2})
+	mid := Pressure{Queue: 0.5}
+	if n := evalN(c, mid, 10); n != 0 {
+		t.Errorf("mid pressure from FULL committed %d transitions, want 0", n)
+	}
+	evalN(c, Pressure{Queue: 0.9}, 2) // force into aggregate
+	if c.State() != Aggregate {
+		t.Fatalf("state %v, want aggregate", c.State())
+	}
+	if n := evalN(c, mid, 10); n != 0 {
+		t.Errorf("mid pressure from AGGREGATE committed %d transitions, want 0", n)
+	}
+	if n := evalN(c, Pressure{Queue: 0.1}, 2); n != 1 || c.State() != Full {
+		t.Errorf("cool pressure: %d transitions to %v, want 1 to full", n, c.State())
+	}
+}
+
+func TestControllerShedKeyedOnMemory(t *testing.T) {
+	c := NewController(Config{Dwell: 1})
+	// A saturated queue alone must not shed: aggregate absorbs it.
+	evalN(c, Pressure{Queue: 1.0}, 5)
+	if c.State() != Aggregate {
+		t.Fatalf("queue saturation drove state to %v, want aggregate", c.State())
+	}
+	// Memory pressure does shed…
+	c.Eval(Pressure{Queue: 1.0, Mem: 0.97})
+	if c.State() != Shed {
+		t.Fatalf("memory pressure left state %v, want shed", c.State())
+	}
+	// …and only memory recovery un-sheds, one step at a time.
+	c.Eval(Pressure{Queue: 1.0, Mem: 0.4})
+	if c.State() != Aggregate {
+		t.Fatalf("memory recovery left state %v, want aggregate", c.State())
+	}
+	trs := c.Transitions()
+	for i := 1; i < len(trs); i++ {
+		if trs[i].From != trs[i-1].To {
+			t.Errorf("transition log not contiguous: %v then %v", trs[i-1], trs[i])
+		}
+		d := int(trs[i].To) - int(trs[i].From)
+		if d != 1 && d != -1 {
+			t.Errorf("transition %v jumps more than one step", trs[i])
+		}
+	}
+}
+
+func TestPressureScoreIsMax(t *testing.T) {
+	p := Pressure{Queue: 0.2, Lag: 0.8, Mem: 0.5}
+	if p.Score() != 0.8 {
+		t.Errorf("score %v, want the max signal 0.8", p.Score())
+	}
+}

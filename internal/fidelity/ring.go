@@ -1,0 +1,106 @@
+package fidelity
+
+// Ring is the bounded per-source retention buffer behind AGGREGATE mode:
+// every row the pipeline declines to append lands here with its event
+// time, and when the detector flags a window, TakeRange promotes exactly
+// the rows inside the anomaly neighbourhood — once. At capacity the
+// oldest row is evicted, so memory stays fixed no matter how far the
+// consumer falls behind.
+//
+// Entries are expected in roughly event-time order (a tailed log's own
+// order), but nothing breaks if they are not: range queries scan the live
+// window rather than binary-searching, and expiry pops only while the
+// oldest entry is behind the cutoff.
+//
+// Not safe for concurrent use; the loader goroutine owns every ring.
+type Ring[T any] struct {
+	slots []ringSlot[T]
+	head  int // index of the oldest live entry
+	n     int // live entries
+	// evicted counts rows overwritten at capacity — rows lost to
+	// promotion forever, surfaced as a shed statistic.
+	evicted int64
+	taken   int64
+}
+
+type ringSlot[T any] struct {
+	ts    int64
+	v     T
+	taken bool
+}
+
+// NewRing makes a ring holding at most capacity entries (minimum 1).
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring[T]{slots: make([]ringSlot[T], capacity)}
+}
+
+// Push appends one entry, evicting the oldest when full.
+func (r *Ring[T]) Push(ts int64, v T) {
+	if r.n == len(r.slots) {
+		// Overwrite the oldest.
+		r.slots[r.head] = ringSlot[T]{ts: ts, v: v}
+		r.head = r.next(r.head)
+		r.evicted++
+		return
+	}
+	at := r.idx(r.n)
+	r.slots[at] = ringSlot[T]{ts: ts, v: v}
+	r.n++
+}
+
+// TakeRange returns, in insertion order, every live entry with
+// lo ≤ ts ≤ hi that has not been taken before, and marks them taken.
+// The marking is what makes promotion idempotent when two flagged
+// windows' neighbourhoods overlap: the shared rows promote exactly once.
+func (r *Ring[T]) TakeRange(lo, hi int64) []T {
+	var out []T
+	for i := 0; i < r.n; i++ {
+		s := &r.slots[r.idx(i)]
+		if s.taken || s.ts < lo || s.ts > hi {
+			continue
+		}
+		s.taken = true
+		r.taken++
+		out = append(out, s.v)
+	}
+	return out
+}
+
+// ExpireBefore drops entries older than cutoff from the oldest end and
+// returns how many it dropped. Taken entries expire like any other; only
+// the contiguous old prefix is eligible, preserving insertion order for
+// the survivors.
+func (r *Ring[T]) ExpireBefore(cutoff int64) int {
+	dropped := 0
+	for r.n > 0 && r.slots[r.head].ts < cutoff {
+		r.slots[r.head] = ringSlot[T]{}
+		r.head = r.next(r.head)
+		r.n--
+		dropped++
+	}
+	return dropped
+}
+
+// Len is the number of live entries (taken or not).
+func (r *Ring[T]) Len() int { return r.n }
+
+// Cap is the fixed capacity.
+func (r *Ring[T]) Cap() int { return len(r.slots) }
+
+// Evicted is how many entries were overwritten at capacity.
+func (r *Ring[T]) Evicted() int64 { return r.evicted }
+
+// Taken is how many entries TakeRange has handed out.
+func (r *Ring[T]) Taken() int64 { return r.taken }
+
+func (r *Ring[T]) idx(i int) int { return (r.head + i) % len(r.slots) }
+func (r *Ring[T]) next(i int) int {
+	i++
+	if i == len(r.slots) {
+		return 0
+	}
+	return i
+}

@@ -1,0 +1,88 @@
+package fidelity
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRingWraparoundEvictsOldest(t *testing.T) {
+	r := NewRing[int](4)
+	for i := 0; i < 10; i++ {
+		r.Push(int64(i), i)
+	}
+	if r.Len() != 4 || r.Evicted() != 6 {
+		t.Fatalf("len=%d evicted=%d, want 4 and 6", r.Len(), r.Evicted())
+	}
+	got := r.TakeRange(0, 100)
+	if want := []int{6, 7, 8, 9}; !reflect.DeepEqual(got, want) {
+		t.Errorf("survivors %v, want the newest four %v in insertion order", got, want)
+	}
+}
+
+func TestRingTakeRangeSpansBufferBoundary(t *testing.T) {
+	// Fill past capacity so the live window physically wraps the slice
+	// end, then promote a range that crosses the wrap point.
+	r := NewRing[int](5)
+	for i := 0; i < 8; i++ { // live entries 3..7, head mid-slice
+		r.Push(int64(i * 10), i)
+	}
+	got := r.TakeRange(40, 60)
+	if want := []int{4, 5, 6}; !reflect.DeepEqual(got, want) {
+		t.Errorf("boundary-spanning promotion returned %v, want %v", got, want)
+	}
+}
+
+func TestRingTakeRangeIsIdempotent(t *testing.T) {
+	r := NewRing[string](8)
+	r.Push(10, "a")
+	r.Push(20, "b")
+	r.Push(30, "c")
+	first := r.TakeRange(10, 20)
+	if want := []string{"a", "b"}; !reflect.DeepEqual(first, want) {
+		t.Fatalf("first take %v, want %v", first, want)
+	}
+	// An overlapping neighbourhood must not re-promote shared rows.
+	second := r.TakeRange(0, 40)
+	if want := []string{"c"}; !reflect.DeepEqual(second, want) {
+		t.Errorf("overlapping take %v, want only the untaken %v", second, want)
+	}
+	if r.Taken() != 3 {
+		t.Errorf("taken=%d, want 3", r.Taken())
+	}
+}
+
+func TestRingExpireBefore(t *testing.T) {
+	r := NewRing[int](8)
+	for i := 0; i < 6; i++ {
+		r.Push(int64(i*10), i)
+	}
+	if n := r.ExpireBefore(30); n != 3 {
+		t.Fatalf("expired %d, want 3", n)
+	}
+	if got := r.TakeRange(0, 100); !reflect.DeepEqual(got, []int{3, 4, 5}) {
+		t.Errorf("after expiry: %v, want [3 4 5]", got)
+	}
+	// Out-of-order tail: expiry only pops while the *oldest* is behind the
+	// cutoff, so a late entry shields newer-but-earlier ones — promotion
+	// beats aggressive expiry.
+	r2 := NewRing[int](8)
+	r2.Push(50, 50)
+	r2.Push(10, 10) // late arrival
+	if n := r2.ExpireBefore(40); n != 0 {
+		t.Errorf("expiry crossed a newer entry: dropped %d, want 0", n)
+	}
+}
+
+func TestRingExpireRacesPromotion(t *testing.T) {
+	// Promotion of a window that partially expired returns only the live
+	// remainder — never stale or duplicate values.
+	r := NewRing[int](4)
+	for i := 0; i < 8; i++ {
+		r.Push(int64(i*10), i)
+	}
+	r.ExpireBefore(55) // drops 4 and 5 of the live 4..7
+	got := r.TakeRange(0, 1000)
+	if want := []int{6, 7}; !reflect.DeepEqual(got, want) {
+		t.Errorf("post-expiry promotion %v, want %v", got, want)
+	}
+}

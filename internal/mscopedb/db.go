@@ -21,16 +21,19 @@ type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 
-	// ingestOff mirrors the mscope_ingests ledger as source-file → latest
-	// recorded offset, so the per-file idempotency probe at the top of
-	// every ingest is O(1) instead of a full ledger scan.
-	offMu     sync.Mutex
-	ingestOff map[string]int64
+	// ingestOff and ingestRows mirror the mscope_ingests ledger as
+	// source-file → latest recorded offset / rows, so the per-file
+	// idempotency probe at the top of every ingest is O(1) instead of a
+	// full ledger scan.
+	offMu      sync.Mutex
+	ingestOff  map[string]int64
+	ingestRows map[string]int64
 }
 
 // Open creates an empty warehouse with the four static tables.
 func Open() *DB {
-	db := &DB{tables: make(map[string]*Table), ingestOff: make(map[string]int64)}
+	db := &DB{tables: make(map[string]*Table),
+		ingestOff: make(map[string]int64), ingestRows: make(map[string]int64)}
 	mustCreate := func(name string, cols []Column) {
 		t, err := NewTable(name, cols)
 		if err != nil {
@@ -202,6 +205,7 @@ func (db *DB) RecordIngestAt(table, file string, rows int, offset int64, loaded 
 	}
 	db.offMu.Lock()
 	db.ingestOff[file] = offset
+	db.ingestRows[file] = int64(rows)
 	db.offMu.Unlock()
 	return nil
 }
@@ -215,4 +219,18 @@ func (db *DB) LatestIngestOffset(file string) (int64, bool) {
 	defer db.offMu.Unlock()
 	off, ok := db.ingestOff[file]
 	return off, ok
+}
+
+// LatestIngestRows returns the rows value of the most recent ledger entry
+// for a source file. Live degraded-mode checkpoints record the *records
+// consumed* here rather than the table rows appended — under aggregate
+// fidelity most consumed records never become table rows, so a restarted
+// header-format resume that skipped only Table.Rows() records would
+// re-consume (and re-promote) the rolled-up remainder. The ledger count is
+// the authoritative skip distance; callers take the max of both.
+func (db *DB) LatestIngestRows(file string) (int64, bool) {
+	db.offMu.Lock()
+	defer db.offMu.Unlock()
+	n, ok := db.ingestRows[file]
+	return n, ok
 }

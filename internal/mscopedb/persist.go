@@ -5,6 +5,18 @@ import (
 	"encoding/gob"
 	"fmt"
 	"os"
+
+	"github.com/gt-elba/milliscope/internal/retry"
+)
+
+// saveRetry bounds the retries around the checkpoint file creation — the
+// one step of Save that fails transiently (EMFILE, a slow NFS mkdir
+// racing, an fs briefly read-only during rotation). Encoding errors are
+// not transient and are never retried. Tests swap the policy to inject a
+// flaky fs without wall-clock sleeps.
+var (
+	saveRetry  = retry.Default
+	createFile = os.Create
 )
 
 // snapshot types give gob a stable, exported surface.
@@ -32,8 +44,12 @@ func (db *DB) Save(path string) error {
 			Name: t.name, Cols: t.cols, Data: t.data, Rows: t.rows,
 		})
 	}
-	f, err := os.Create(path)
-	if err != nil {
+	var f *os.File
+	if err := saveRetry.Do(func() error {
+		var cerr error
+		f, cerr = createFile(path)
+		return cerr
+	}); err != nil {
 		return fmt.Errorf("mscopedb: create %s: %w", path, err)
 	}
 	defer f.Close()
@@ -82,14 +98,18 @@ func Load(path string) (*DB, error) {
 			return nil, fmt.Errorf("mscopedb: load %s: static table %s missing", path, name)
 		}
 	}
-	// Rebuild the latest-offset map from the persisted ledger: rows are
-	// append-ordered, so the last row per file wins.
+	// Rebuild the latest-offset and latest-rows maps from the persisted
+	// ledger: rows are append-ordered, so the last row per file wins.
 	db.ingestOff = make(map[string]int64)
+	db.ingestRows = make(map[string]int64)
 	if t := db.tables[TableIngests]; t != nil {
-		fi, oi := t.ColIndex("file"), t.ColIndex("offset")
+		fi, oi, ri := t.ColIndex("file"), t.ColIndex("offset"), t.ColIndex("rows")
 		if fi >= 0 && oi >= 0 {
 			for r := 0; r < t.Rows(); r++ {
 				db.ingestOff[t.Str(fi, r)] = t.Int(oi, r)
+				if ri >= 0 {
+					db.ingestRows[t.Str(fi, r)] = t.Int(ri, r)
+				}
 			}
 		}
 	}

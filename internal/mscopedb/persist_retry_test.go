@@ -1,0 +1,80 @@
+package mscopedb
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/retry"
+)
+
+// TestSaveRetriesTransientCreate injects a flaky fs under Save: the first
+// two creates fail, the third succeeds, and the checkpoint must land
+// intact without surfacing the transient errors.
+func TestSaveRetriesTransientCreate(t *testing.T) {
+	origRetry, origCreate := saveRetry, createFile
+	defer func() { saveRetry, createFile = origRetry, origCreate }()
+
+	fails := 2
+	creates := 0
+	createFile = func(path string) (*os.File, error) {
+		creates++
+		if creates <= fails {
+			return nil, syscall.EMFILE
+		}
+		return os.Create(path)
+	}
+	var slept []time.Duration
+	saveRetry = retry.Policy{Attempts: 4, Base: time.Millisecond, Max: 4 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) }}
+
+	db := Open()
+	if err := db.RecordIngestAt("t", "f.log", 7, 99, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "w.db")
+	if err := db.Save(path); err != nil {
+		t.Fatalf("Save with 2 transient failures: %v", err)
+	}
+	if creates != 3 {
+		t.Errorf("create called %d times, want 3", creates)
+	}
+	if len(slept) != 2 {
+		t.Errorf("backed off %d times, want 2", len(slept))
+	}
+
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load after retried save: %v", err)
+	}
+	if n, ok := loaded.LatestIngestRows("f.log"); !ok || n != 7 {
+		t.Errorf("LatestIngestRows = %d,%v after reload, want 7,true", n, ok)
+	}
+	if off, ok := loaded.LatestIngestOffset("f.log"); !ok || off != 99 {
+		t.Errorf("LatestIngestOffset = %d,%v after reload, want 99,true", off, ok)
+	}
+}
+
+// TestSavePersistentFailureSurfaces proves the budget is bounded: a
+// permanently failing fs exhausts the attempts and the last error comes
+// back wrapped.
+func TestSavePersistentFailureSurfaces(t *testing.T) {
+	origRetry, origCreate := saveRetry, createFile
+	defer func() { saveRetry, createFile = origRetry, origCreate }()
+
+	sentinel := errors.New("disk detached")
+	creates := 0
+	createFile = func(string) (*os.File, error) { creates++; return nil, sentinel }
+	saveRetry = retry.Policy{Attempts: 3, Base: time.Millisecond, Sleep: func(time.Duration) {}}
+
+	err := Open().Save(filepath.Join(t.TempDir(), "w.db"))
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Save error %v does not wrap the fs failure", err)
+	}
+	if creates != 3 {
+		t.Errorf("create called %d times, want the full 3-attempt budget", creates)
+	}
+}

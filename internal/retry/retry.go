@@ -1,0 +1,63 @@
+// Package retry is the bounded exponential-backoff policy shared by the
+// writers that can fail transiently: warehouse checkpoint saves and
+// quarantine-sink creation. It exists so every caller retries the same
+// way — a fixed attempt budget with exponential spacing — instead of each
+// site inventing its own loop, and so tests can inject a recording sleep.
+package retry
+
+import (
+	"fmt"
+	"time"
+)
+
+// Policy bounds a retry loop. The zero value is not usable; start from
+// Default and override fields.
+type Policy struct {
+	// Attempts is the total number of tries, including the first.
+	Attempts int
+	// Base is the delay before the second attempt; each further attempt
+	// doubles it.
+	Base time.Duration
+	// Max caps the per-attempt delay.
+	Max time.Duration
+	// Sleep is the delay function; nil uses time.Sleep. Tests inject a
+	// recorder here so backoff shapes are asserted without wall time.
+	Sleep func(time.Duration)
+}
+
+// Default is the policy the warehouse and quarantine writers use: four
+// attempts spaced 5ms, 10ms, 20ms — enough to ride out a transient EMFILE
+// or a filesystem hiccup without stalling the pipeline noticeably.
+var Default = Policy{Attempts: 4, Base: 5 * time.Millisecond, Max: 250 * time.Millisecond}
+
+// Do runs op until it succeeds or the attempt budget is spent, sleeping
+// the backoff schedule between tries. The returned error is the last
+// failure, annotated with the attempt count.
+func (p Policy) Do(op func() error) error {
+	attempts := p.Attempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	delay := p.Base
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if i == attempts-1 {
+			break
+		}
+		if delay > 0 {
+			sleep(delay)
+			delay *= 2
+			if p.Max > 0 && delay > p.Max {
+				delay = p.Max
+			}
+		}
+	}
+	return fmt.Errorf("after %d attempts: %w", attempts, err)
+}

@@ -1,0 +1,70 @@
+package retry
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDoSucceedsAfterTransientFailures(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{Attempts: 4, Base: 5 * time.Millisecond, Max: 250 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	calls := 0
+	err := p.Do(func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("op ran %d times, want 3", calls)
+	}
+	want := []time.Duration{5 * time.Millisecond, 10 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Errorf("backoff %d = %v, want %v (exponential doubling)", i, slept[i], want[i])
+		}
+	}
+}
+
+func TestDoExhaustsBudget(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{Attempts: 3, Base: time.Millisecond, Max: time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	sentinel := errors.New("disk full")
+	calls := 0
+	err := p.Do(func() error { calls++; return sentinel })
+	if calls != 3 {
+		t.Errorf("op ran %d times, want 3", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("error %v does not wrap the last failure", err)
+	}
+	// Max caps the schedule: 1ms then 1ms, not 2ms.
+	for i, d := range slept {
+		if d != time.Millisecond {
+			t.Errorf("backoff %d = %v, want capped 1ms", i, d)
+		}
+	}
+	if len(slept) != 2 {
+		t.Errorf("slept %d times between 3 attempts, want 2", len(slept))
+	}
+}
+
+func TestDoZeroValueRunsOnce(t *testing.T) {
+	calls := 0
+	if err := (Policy{}).Do(func() error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("zero policy ran op %d times, want exactly 1", calls)
+	}
+}

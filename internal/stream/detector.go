@@ -46,6 +46,14 @@ type detector struct {
 	windowUS int64
 	graceUS  int64
 
+	// promote, when set, is called with a flagged window's anomaly
+	// neighbourhood [lo, hi] (window ± pad ± grace, in event µs) before
+	// evidence is built, so degraded-fidelity sessions can retroactively
+	// surface the ring-buffered rows the verdict will correlate against.
+	// Idempotent by contract — a window retried across advances re-calls
+	// it.
+	promote func(loUS, hiUS int64)
+
 	buckets  map[int64]float64 // bucket start → max RT µs
 	loB, hiB int64
 	haveB    bool
@@ -124,6 +132,9 @@ func (d *detector) advance(lowUS int64, final bool, window time.Duration, now fu
 		}
 		if d.overlapsAlerted(w) {
 			continue
+		}
+		if d.promote != nil {
+			d.promote(w.StartMicros-(padUS+d.graceUS), w.EndMicros+padUS+d.graceUS)
 		}
 		ev, missing, err := core.BuildEvidence(d.db, window)
 		if err != nil || ev.Queues["apache"] == nil {

@@ -31,13 +31,42 @@ type Status struct {
 	MaxFrontierUS  int64     `json:"max_frontier_us"`
 	// LagUS is the event-time spread between the fastest source and the
 	// low watermark — how far behind the slowest tier is reporting.
-	LagUS       int64          `json:"lag_us"`
-	Rows        int64          `json:"rows"`
-	RowsPerSec  float64        `json:"rows_per_sec"`
-	Queued      int            `json:"queued"`
-	Quarantined int64          `json:"quarantined"`
-	Alerts      int            `json:"alerts"`
-	Sources     []SourceStatus `json:"sources"`
+	LagUS       int64   `json:"lag_us"`
+	Rows        int64   `json:"rows"`
+	RowsPerSec  float64 `json:"rows_per_sec"`
+	Queued      int     `json:"queued"`
+	Quarantined int64   `json:"quarantined"`
+	Alerts      int     `json:"alerts"`
+	// Stalls counts backpressure stall events: a parser finding the
+	// record channel full and having to wait for the loader.
+	Stalls   int64           `json:"backpressure_stalls"`
+	Fidelity *FidelityStatus `json:"fidelity,omitempty"`
+	Sources  []SourceStatus  `json:"sources"`
+}
+
+// FidelityStatus is the degradation subsystem's live state; present in
+// Status only when Config.Fidelity enables it.
+type FidelityStatus struct {
+	Mode string `json:"mode"`
+	// State is the current fidelity level: full, aggregate, or shed.
+	State string `json:"state"`
+	// RowsRolledUp counts records folded into per-window aggregates
+	// instead of being appended at full fidelity.
+	RowsRolledUp int64 `json:"rows_rolled_up"`
+	// RowsPromoted counts ring rows retroactively appended around flagged
+	// windows.
+	RowsPromoted int64 `json:"rows_promoted"`
+	// RowsShed counts records dropped with no ring retention (SHED mode).
+	RowsShed int64 `json:"rows_shed"`
+	// RollupRows is the size of the mscope_rollup aggregate table.
+	RollupRows int64 `json:"rollup_rows"`
+	// RingRows is the rows currently retained across all source rings.
+	RingRows int64 `json:"ring_rows"`
+	// RingEvicted counts ring rows overwritten at capacity — lost to
+	// promotion forever.
+	RingEvicted int64 `json:"ring_evicted"`
+	// Transitions counts committed fidelity state changes this session.
+	Transitions int64 `json:"transitions"`
 }
 
 // Status snapshots the pipeline; safe to call concurrently with the run.
@@ -54,6 +83,20 @@ func (p *Pipeline) Status() Status {
 		Rows:        p.rowsTotal.Load(),
 		Queued:      len(p.recs),
 		Alerts:      alerts,
+		Stalls:      p.stalls.Load(),
+	}
+	if f := p.fid; f != nil {
+		st.Fidelity = &FidelityStatus{
+			Mode:         f.opts.Mode,
+			State:        p.fidState().String(),
+			RowsRolledUp: f.rolledUp.Load(),
+			RowsPromoted: f.promoted.Load(),
+			RowsShed:     f.shedRows.Load(),
+			RollupRows:   f.rollupRows.Load(),
+			RingRows:     f.ringRows.Load(),
+			RingEvicted:  f.ringEvicted.Load(),
+			Transitions:  f.transitions.Load(),
+		}
 	}
 	if low, ok := p.wm.Low(); ok && low != finalLow {
 		st.LowWatermarkUS = low
@@ -133,6 +176,34 @@ func (p *Pipeline) MetricsText() string {
 	g("low_watermark_us", float64(st.LowWatermarkUS), "event time all tiers have reported past")
 	g("pipeline_lag_us", float64(st.LagUS), "event-time spread between fastest source and watermark")
 	g("queued_records", float64(st.Queued), "records buffered between parsers and loader")
+	c := func(name string, v float64, help string) {
+		fmt.Fprintf(&b, "# HELP mscope_%s %s\n# TYPE mscope_%s counter\nmscope_%s %g\n",
+			name, help, name, name, v)
+	}
+	c("backpressure_stalls_total", float64(st.Stalls),
+		"times a parser found the record channel full and waited for the loader")
+	// Fidelity families are exported unconditionally (zero when the
+	// subsystem is off) so dashboards and the conformance test see a
+	// stable metric set.
+	var fs FidelityStatus
+	if st.Fidelity != nil {
+		fs = *st.Fidelity
+	}
+	stateVal := 0.0
+	switch fs.State {
+	case "aggregate":
+		stateVal = 1
+	case "shed":
+		stateVal = 2
+	}
+	g("fidelity_state", stateVal, "fidelity level: 0 full, 1 aggregate, 2 shed")
+	c("fidelity_transitions_total", float64(fs.Transitions), "committed fidelity state changes")
+	c("rows_rolled_up_total", float64(fs.RowsRolledUp), "records folded into per-window aggregates")
+	c("rows_promoted_total", float64(fs.RowsPromoted), "ring rows promoted around flagged windows")
+	c("rows_shed_total", float64(fs.RowsShed), "records dropped without ring retention")
+	c("ring_evicted_total", float64(fs.RingEvicted), "ring rows overwritten at capacity")
+	g("ring_rows", float64(fs.RingRows), "rows currently retained in the promotion rings")
+	g("rollup_rows", float64(fs.RollupRows), "rows in the mscope_rollup aggregate table")
 	// Per-source families. The exposition format requires each family's
 	// # HELP/# TYPE header exactly once, before all of its samples — so the
 	// samples are grouped by family, not by source.

@@ -87,6 +87,23 @@ func TestMetricsExpositionConformance(t *testing.T) {
 			t.Errorf("%s has %d samples, want one per source (%d)", fam, samples[fam], nSources)
 		}
 	}
+	// The fidelity and backpressure families are exported unconditionally —
+	// zero-valued when degradation is off — so scrapers see a stable set.
+	for _, fam := range []string{
+		"mscope_backpressure_stalls_total",
+		"mscope_fidelity_state",
+		"mscope_fidelity_transitions_total",
+		"mscope_rows_rolled_up_total",
+		"mscope_rows_promoted_total",
+		"mscope_rows_shed_total",
+		"mscope_ring_evicted_total",
+		"mscope_ring_rows",
+		"mscope_rollup_rows",
+	} {
+		if samples[fam] != 1 {
+			t.Errorf("%s has %d samples, want exactly 1", fam, samples[fam])
+		}
+	}
 }
 
 // TestDebugHandlerSeparation checks the opt-in debug surface: pprof and

@@ -11,7 +11,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/gt-elba/milliscope/internal/core"
 	"github.com/gt-elba/milliscope/internal/faults"
+	"github.com/gt-elba/milliscope/internal/fidelity"
 	"github.com/gt-elba/milliscope/internal/mscopedb"
 	"github.com/gt-elba/milliscope/internal/mxml"
 	"github.com/gt-elba/milliscope/internal/parsers"
@@ -54,8 +56,16 @@ type Config struct {
 	Grace time.Duration
 	// ChannelCap bounds the record channel (default 256). Backpressure:
 	// when the loader lags, parsers block here, their pipes fill, and the
-	// tailers stop reading — nothing buffers without bound.
+	// tailers stop reading — nothing buffers without bound. Stall events
+	// (a parser finding the channel full) are counted and exported.
 	ChannelCap int
+	// Fidelity configures load-aware degradation; the zero value keeps
+	// full fidelity unconditionally.
+	Fidelity FidelityOptions
+	// ConsumerDelay throttles the loader by this much per record — the
+	// slow-consumer half of the chaos overload injector. Zero in
+	// production.
+	ConsumerDelay time.Duration
 	// OnAlert, when set, receives each alert as it fires, from the loader
 	// goroutine: it must not block on the pipeline itself.
 	OnAlert func(Alert)
@@ -115,6 +125,7 @@ type Pipeline struct {
 	db  *mscopedb.DB
 	wm  *Watermark
 	det *detector
+	fid *fidelityRun // nil when fidelity is off
 
 	recs     chan rec
 	stopCh   chan struct{}
@@ -122,6 +133,12 @@ type Pipeline struct {
 	parserWG sync.WaitGroup
 
 	rowsTotal atomic.Int64
+	stalls    atomic.Int64 // backpressure stall events (channel found full)
+
+	// loaderObs is the loader goroutine's span buffer, exposed so the
+	// promotion path (called from the detector, on the loader) can record
+	// spans without allocating a buffer per promotion.
+	loaderObs *selfobs.Buf
 
 	mu      sync.Mutex
 	sources []*source
@@ -139,7 +156,7 @@ func New(cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{
+	p := &Pipeline{
 		cfg:      c,
 		db:       c.DB,
 		wm:       NewWatermark(c.Skew.Microseconds()),
@@ -148,7 +165,15 @@ func New(cfg Config) (*Pipeline, error) {
 		stopCh:   make(chan struct{}),
 		loadDone: make(chan struct{}),
 		byPath:   make(map[string]*source),
-	}, nil
+	}
+	if c.Fidelity.enabled() {
+		p.fid = newFidelityRun(c.Fidelity)
+		// The detector promotes the anomaly neighbourhood out of the rings
+		// before building evidence, so degraded-mode verdicts see exactly
+		// the full-fidelity rows they correlate against.
+		p.det.promote = p.promoteNeighbourhood
+	}
+	return p, nil
 }
 
 // DB returns the warehouse the pipeline loads. Only touch it after Stop:
@@ -300,11 +325,24 @@ func (p *Pipeline) addSource(full, name string) {
 	if off, known := p.db.LatestIngestOffset(full); known && off > 0 {
 		if resumableAtOffset(b) {
 			offset = off
-		} else if p.db.HasTable(s.table) {
+			if n, ok := p.db.LatestIngestRows(full); ok {
+				s.consumedBase = n
+			}
+		} else {
 			// Header-carrying format: re-read from zero but drop the
-			// records already in the table — the row-level resume.
-			if t, terr := p.db.Table(s.table); terr == nil {
-				s.skipEntries = int64(t.Rows())
+			// records already consumed — the row-level resume. The skip
+			// distance is the larger of the table's rows and the ledger's
+			// consumed count: equal for full-fidelity sessions, but a
+			// degraded session consumes (rolls up, sheds, promotes) far
+			// more records than it appends, and re-processing those would
+			// duplicate every previously promoted row.
+			if p.db.HasTable(s.table) {
+				if t, terr := p.db.Table(s.table); terr == nil {
+					s.skipEntries = int64(t.Rows())
+				}
+			}
+			if n, ok := p.db.LatestIngestRows(full); ok && n > s.skipEntries {
+				s.skipEntries = n
 			}
 		}
 	}
@@ -378,7 +416,18 @@ func (p *Pipeline) runParser(s *source, pr *io.PipeReader) {
 	defer obs.Close()
 	var emitted int64
 	emit := func(e mxml.Entry) error {
-		p.recs <- rec{src: s, entry: e}
+		r := rec{src: s, entry: e}
+		// Try the fast path first; a full channel is a backpressure stall —
+		// counted, then waited out. The blocking send is the pressure edge
+		// that stops the tailers, so the stall counter is exactly "times a
+		// parser caught the loader behind".
+		select {
+		case p.recs <- r:
+		default:
+			p.stalls.Add(1)
+			obsStalls.Add(1)
+			p.recs <- r
+		}
 		emitted++
 		return nil
 	}
@@ -409,47 +458,62 @@ func (p *Pipeline) runParser(s *source, pr *io.PipeReader) {
 	pr.Close()
 }
 
-// loader is the single consumer: append rows, advance frontiers, enforce
-// the error budget, and drive the detector as the watermark moves.
+// loader is the single consumer: append (or degrade) rows, advance
+// frontiers, enforce the error budget, drive the fidelity controller, and
+// run the detector as the watermark moves. The PIT statistic and the
+// watermark are fed for every processed record regardless of fidelity
+// state — detection must keep working precisely when the pipeline is
+// degraded, or degradation would be blindness.
 func (p *Pipeline) loader() {
 	defer close(p.loadDone)
 	obs := selfobs.NewBuf()
 	defer obs.Close()
+	p.loaderObs = obs
+	defer func() { p.loaderObs = nil }()
 	var lastLow int64
 	for r := range p.recs {
+		if p.cfg.ConsumerDelay > 0 {
+			time.Sleep(p.cfg.ConsumerDelay)
+		}
 		s := r.src
 		if st, _ := s.status(); st == StateRejected {
 			continue
 		}
+		s.consumed.Add(1)
+		us, hasTS := s.eventTimeUS(&r.entry)
 		if s.skipEntries > 0 {
 			s.skipEntries--
 		} else {
-			if s.app == nil {
-				s.app = newAppender(p.db, s.table)
-			}
-			if err := s.app.append(r.entry); err != nil {
-				s.setState(StateFailed, err)
-				p.wm.Finish(s.path)
-				p.mu.Lock()
-				if p.loadErr == nil {
-					p.loadErr = err
-				}
-				p.mu.Unlock()
-				continue
-			}
-			s.rows.Add(1)
-			p.rowsTotal.Add(1)
-			obsRowsAppended.Add(1)
+			s.processed.Add(1)
 			if s.host == "apache" && s.binding.TableSuffix == "event" {
 				p.observeFront(&r.entry)
 			}
+			if st := p.fidState(); st == fidelity.Full || !hasTS {
+				// Full fidelity — and the degraded modes' fallback for the
+				// rare record with no usable clock, which neither the ring
+				// nor the rollup grid could place.
+				if s.app == nil {
+					s.app = newAppender(p.db, s.table)
+				}
+				if err := s.app.append(r.entry); err != nil {
+					s.setState(StateFailed, err)
+					p.wm.Finish(s.path)
+					p.recordLoadErr(err)
+					continue
+				}
+				s.rows.Add(1)
+				p.rowsTotal.Add(1)
+				obsRowsAppended.Add(1)
+			} else {
+				p.fid.degrade(s, &r.entry, us, st)
+			}
 		}
-		if us, ok := s.eventTimeUS(&r.entry); ok {
+		if hasTS {
 			p.wm.Observe(s.path, us)
 			s.frontierUS.Store(us)
 		}
 		if q := s.quarantined.Load(); q > 0 {
-			total := s.rows.Load() + q
+			total := s.processed.Load() + q
 			if total >= minBudgetSamples && float64(q)/float64(total) > p.cfg.ErrorBudget {
 				s.setState(StateRejected, fmt.Errorf(
 					"stream: %s: corrupt-record ratio %.4f exceeds error budget %.4f (%d of %d)",
@@ -457,24 +521,37 @@ func (p *Pipeline) loader() {
 				p.wm.Finish(s.path)
 			}
 		}
+		if p.fid != nil {
+			p.fid.sinceEval++
+			if p.fid.sinceEval >= p.fid.opts.EvalEvery {
+				p.fid.sinceEval = 0
+				p.evalPressure()
+			}
+		}
 		if low, ok := p.wm.Low(); ok && low != finalLow && low >= lastLow+p.det.windowUS {
 			lastLow = low
 			obsWatermarkMoves.Add(1)
+			p.evalPressure()
+			p.flushRollup(low, false)
 			sp := obs.Begin(selfobs.PipeLive, "detect", "advance", "")
 			alerts := p.det.advance(low, false, p.cfg.Window, time.Now)
 			sp.End(int64(len(alerts)), 0)
 			p.raise(alerts)
+			p.expireRings(low)
 		}
 	}
-	// Channel closed: every parser is done. Checkpoint and classify the
-	// remainder with the gating relaxed — all evidence has arrived.
-	sp := obs.Begin(selfobs.PipeLive, "checkpoint", "final", "")
-	p.checkpoint()
-	sp.End(int64(p.rowsTotal.Load()), 0)
-	sp = obs.Begin(selfobs.PipeLive, "detect", "final", "")
+	// Channel closed: every parser is done. Classify the remainder with
+	// the gating relaxed — all evidence has arrived — then flush the open
+	// rollup cells and checkpoint. Detection runs before the final flush
+	// so promotion still finds its ring rows.
+	sp := obs.Begin(selfobs.PipeLive, "detect", "final", "")
 	alerts := p.det.advance(finalLow, true, p.cfg.Window, time.Now)
 	sp.End(int64(len(alerts)), 0)
 	p.raise(alerts)
+	p.flushRollup(finalLow, true)
+	sp = obs.Begin(selfobs.PipeLive, "checkpoint", "final", "")
+	p.checkpoint()
+	sp.End(int64(p.rowsTotal.Load()), 0)
 }
 
 // observeFront folds a front-tier event into the online PIT statistic.
@@ -506,23 +583,29 @@ func (p *Pipeline) raise(alerts []Alert) {
 	}
 }
 
-// checkpoint writes the per-source ledger rows: the byte offset fed to the
-// parser and the rows appended. A later `mscope ingest` over the same
-// directory, or a restarted live session, resumes from here instead of
-// duplicating rows.
+// checkpoint writes the per-source ledger rows: the byte offset fed to
+// the parser and the records consumed. Consumption — not table rows — is
+// what a restarted header-format resume must skip: under degraded
+// fidelity most consumed records were rolled up or shed rather than
+// appended, and re-processing them would duplicate every promoted row.
+// For full-fidelity sessions the two counts are identical, so the ledger
+// column keeps its historical meaning there. A later `mscope ingest` over
+// the same directory, or a restarted live session, resumes from here
+// instead of duplicating rows.
 func (p *Pipeline) checkpoint() {
 	for _, s := range p.snapshot() {
 		s.setState(StateDone, nil)
-		if !p.db.HasTable(s.table) {
+		consumed := s.consumedBase + s.consumed.Load()
+		if !p.db.HasTable(s.table) && consumed == 0 {
 			continue
 		}
-		if err := p.db.RecordIngestAt(s.table, s.path, int(s.rows.Load()),
+		if err := p.db.RecordIngestAt(s.table, s.path, int(consumed),
 			s.tail.Committed(), simtime.Epoch); err != nil {
-			p.mu.Lock()
-			if p.loadErr == nil {
-				p.loadErr = err
-			}
-			p.mu.Unlock()
+			p.recordLoadErr(err)
 		}
 	}
 }
+
+// padUS is the classification pad in microseconds — the slice margin the
+// verdict correlates over, and therefore half of the promotion horizon.
+func (p *Pipeline) padUS() int64 { return core.ClassifyPad.Microseconds() }

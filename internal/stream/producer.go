@@ -37,6 +37,12 @@ type ProducerConfig struct {
 	// replay crosses that fraction — copytruncate-style rotation. Bytes the
 	// tailer has not read by then are lost, exactly as in production.
 	RotateAt float64
+	// Overload, when non-nil, reshapes the byte schedule with a burst (the
+	// arrival-rate half of the overload injector; ConsumerDelay is applied
+	// by the pipeline, not here). Nil auto-loads an overload.json sidecar
+	// from SrcDir when one exists, so chaos-staged directories carry their
+	// own load profile.
+	Overload *faults.Overload
 }
 
 // replayFile is one file being progressively written.
@@ -75,6 +81,18 @@ func NewProducer(cfg ProducerConfig) (*Producer, error) {
 	}
 	if cfg.Plan == nil {
 		cfg.Plan = transform.DefaultPlan()
+	}
+	if cfg.Overload == nil {
+		if o, ok, err := faults.LoadOverloadSidecar(cfg.SrcDir); err != nil {
+			return nil, err
+		} else if ok {
+			cfg.Overload = &o
+		}
+	}
+	if cfg.Overload != nil {
+		if err := cfg.Overload.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	p := &Producer{cfg: cfg, stopCh: make(chan struct{})}
 
@@ -155,7 +173,14 @@ func (p *Producer) Run() error {
 		if frac > 1 {
 			frac = 1
 		}
-		if p.cfg.RotateAt > 0 && frac >= p.cfg.RotateAt {
+		wall := frac
+		if p.cfg.Overload != nil {
+			// The burst compresses a slice of the trial into a fraction of
+			// the wall clock: byte position leads wall position inside the
+			// burst window, deterministically.
+			frac = p.cfg.Overload.EffectiveFrac(frac)
+		}
+		if p.cfg.RotateAt > 0 && wall >= p.cfg.RotateAt {
 			if err := p.rotate(); err != nil {
 				return err
 			}

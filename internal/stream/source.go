@@ -50,9 +50,14 @@ type source struct {
 	pw      *io.PipeWriter
 
 	// skipEntries > 0 means the parse restarts from byte zero (the format
-	// needs its header) and this many already-loaded records are dropped
-	// before appending resumes — the row-level half of idempotent resume.
+	// needs its header) and this many already-consumed records are dropped
+	// before processing resumes — the row-level half of idempotent resume.
 	skipEntries int64
+	// consumedBase is the consumed-record count carried over from prior
+	// sessions when the tailer byte-resumes mid-file (re-read-from-zero
+	// resumes re-count naturally and leave it 0). consumed + consumedBase
+	// is what the checkpoint ledger records.
+	consumedBase int64
 
 	app *appender // loader-owned
 
@@ -60,6 +65,13 @@ type source struct {
 	quarantined atomic.Int64
 	parseErrs   atomic.Int64 // unrecoverable parser failures (0 or 1)
 	frontierUS  atomic.Int64
+	// consumed counts every record the loader drained from this source
+	// this session, including resume-skips; processed excludes the skips.
+	// Under degraded fidelity processed > rows: consumed records may be
+	// rolled up or shed instead of appended, which is exactly why the
+	// ledger checkpoint records consumption, not table rows.
+	consumed  atomic.Int64
+	processed atomic.Int64
 
 	mu    sync.Mutex
 	state string

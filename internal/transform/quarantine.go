@@ -13,6 +13,7 @@ import (
 	"github.com/gt-elba/milliscope/internal/mscopedb"
 	"github.com/gt-elba/milliscope/internal/mxml"
 	"github.com/gt-elba/milliscope/internal/parsers"
+	"github.com/gt-elba/milliscope/internal/retry"
 	"github.com/gt-elba/milliscope/internal/selfobs"
 	"github.com/gt-elba/milliscope/internal/simtime"
 	"github.com/gt-elba/milliscope/internal/xmlcsv"
@@ -133,14 +134,28 @@ type quarantineSink struct {
 	n  int
 }
 
+// Quarantine sink creation retries transient fs failures (EMFILE under the
+// parallel ingest's fan-out, a dir briefly missing mid-rotation) instead of
+// surfacing them as a lost malformed region. Package vars so tests inject a
+// flaky fs and a recording sleep.
+var (
+	sinkRetry  = retry.Default
+	sinkCreate = os.Create
+)
+
 func (q *quarantineSink) record(m parsers.Malformed) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.f == nil {
-		if err := os.MkdirAll(q.dir, 0o755); err != nil {
-			return fmt.Errorf("transform: create quarantine dir: %w", err)
-		}
-		f, err := os.Create(filepath.Join(q.dir, q.base+".quarantine"))
+		var f *os.File
+		err := sinkRetry.Do(func() error {
+			if err := os.MkdirAll(q.dir, 0o755); err != nil {
+				return err
+			}
+			var cerr error
+			f, cerr = sinkCreate(filepath.Join(q.dir, q.base+".quarantine"))
+			return cerr
+		})
 		if err != nil {
 			return fmt.Errorf("transform: create quarantine sink: %w", err)
 		}

@@ -1,0 +1,78 @@
+package transform
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/parsers"
+	"github.com/gt-elba/milliscope/internal/retry"
+)
+
+// TestQuarantineSinkRetriesFlakyFS injects a filesystem whose first two
+// creates fail transiently: the sink must retry with backoff and the
+// malformed region must still land in the file.
+func TestQuarantineSinkRetriesFlakyFS(t *testing.T) {
+	origRetry, origCreate := sinkRetry, sinkCreate
+	defer func() { sinkRetry, sinkCreate = origRetry, origCreate }()
+
+	creates := 0
+	sinkCreate = func(path string) (*os.File, error) {
+		creates++
+		if creates <= 2 {
+			return nil, syscall.EMFILE
+		}
+		return os.Create(path)
+	}
+	var slept []time.Duration
+	sinkRetry = retry.Policy{Attempts: 4, Base: time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) }}
+
+	dir := t.TempDir()
+	q := &quarantineSink{dir: filepath.Join(dir, "quarantine"), base: "x.log"}
+	err := q.record(parsers.Malformed{Line: 3, Err: errors.New("torn"), Text: "junk"})
+	if err != nil {
+		t.Fatalf("record with transient fs failures: %v", err)
+	}
+	if creates != 3 {
+		t.Errorf("create called %d times, want 3", creates)
+	}
+	if len(slept) != 2 {
+		t.Errorf("backed off %d times between attempts, want 2", len(slept))
+	}
+	if err := q.close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(q.path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "x.log:3") || !strings.Contains(string(data), "junk") {
+		t.Errorf("sink content %q missing the diverted region", data)
+	}
+}
+
+// TestQuarantineSinkPermanentFailure: an fs that never recovers exhausts
+// the budget and the error surfaces to the caller.
+func TestQuarantineSinkPermanentFailure(t *testing.T) {
+	origRetry, origCreate := sinkRetry, sinkCreate
+	defer func() { sinkRetry, sinkCreate = origRetry, origCreate }()
+
+	sentinel := errors.New("read-only fs")
+	creates := 0
+	sinkCreate = func(string) (*os.File, error) { creates++; return nil, sentinel }
+	sinkRetry = retry.Policy{Attempts: 3, Base: time.Millisecond, Sleep: func(time.Duration) {}}
+
+	q := &quarantineSink{dir: filepath.Join(t.TempDir(), "quarantine"), base: "y.log"}
+	err := q.record(parsers.Malformed{Err: errors.New("bad")})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("record error %v does not wrap the fs failure", err)
+	}
+	if creates != 3 {
+		t.Errorf("create called %d times, want the full budget of 3", creates)
+	}
+}

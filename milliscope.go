@@ -336,7 +336,33 @@ type (
 	LiveProducerConfig = stream.ProducerConfig
 	// LiveProducer replays a finished trial's logs at wall-clock pace.
 	LiveProducer = stream.Producer
+	// LiveFidelityOptions configures adaptive degradation under overload
+	// (Config.Fidelity): rollup-instead-of-append with ring-buffered
+	// anomaly-neighbourhood promotion.
+	LiveFidelityOptions = stream.FidelityOptions
+	// LiveFidelityStatus is the degradation subsystem's snapshot inside
+	// LiveStatus.
+	LiveFidelityStatus = stream.FidelityStatus
+	// Overload shapes a replay into a burst against a throttled consumer —
+	// the overload injector for chaos drills.
+	Overload = faults.Overload
 )
+
+// Fidelity modes for LiveFidelityOptions.Mode.
+const (
+	// FidelityModeFull disables degradation (the default).
+	FidelityModeFull = stream.FidelityFull
+	// FidelityModeAdaptive lets the hysteresis controller move between
+	// full, aggregate and shed as pressure demands.
+	FidelityModeAdaptive = stream.FidelityAdaptive
+	// FidelityModeAggregate pins degraded mode — every record rolls up,
+	// full rows surface only by anomaly promotion.
+	FidelityModeAggregate = stream.FidelityAggregate
+)
+
+// ParseOverload parses an "at=0.2,until=0.5,factor=12,delay=300us"
+// overload spec.
+func ParseOverload(spec string) (Overload, error) { return faults.ParseOverload(spec) }
 
 // NewLivePipeline builds a live pipeline; call Start then Stop on it.
 func NewLivePipeline(cfg LiveConfig) (*LivePipeline, error) { return stream.New(cfg) }
