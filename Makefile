@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet selfobs-lint test test-short race race-short bench bench-check overhead-check fidelity-check overload-soak profile-ingest cover fuzz chaos live-smoke experiment clean
+.PHONY: all build vet selfobs-lint test test-short race race-short bench bench-check overhead-check fidelity-check overload-soak dist-soak profile-ingest cover fuzz chaos live-smoke experiment clean
 
-all: build vet selfobs-lint race-short live-smoke test bench-check overhead-check fidelity-check overload-soak
+all: build vet selfobs-lint race-short live-smoke test bench-check overhead-check fidelity-check overload-soak dist-soak
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,8 @@ bench-check:
 	$(GO) run ./cmd/benchcheck --input bench_output.txt BENCH_ingest.json BENCH_stream.json
 	$(GO) test -run xxx -bench BenchmarkParseLine -benchtime 100x ./internal/parsers/ 2>&1 | tee parser_bench_output.txt
 	$(GO) run ./cmd/benchcheck --input parser_bench_output.txt BENCH_parsers.json
+	$(GO) test -run xxx -bench BenchmarkIngestDistributed -benchtime 5x -benchmem . 2>&1 | tee dist_bench_output.txt
+	$(GO) run ./cmd/benchcheck --input dist_bench_output.txt BENCH_dist.json
 
 # Self-observability budget gate: paired instrumented-vs-disabled ingests
 # of the same corpus; fails if the median overhead exceeds the absolute
@@ -65,6 +67,15 @@ fidelity-check:
 # with hysteresis, and still raise the disk-IO verdict.
 overload-soak:
 	$(GO) test -race -run TestOverloadSoak -v ./internal/stream/
+
+# Distributed kill/restart soak under the race detector: four agents ship
+# the disk-IO trial to a throttled collector, one is crashed mid-stream
+# (no drain) and replaced; the replacement must resume from the
+# collector-acked offsets with zero duplicate rows — the warehouse stays
+# byte-identical to single-process ingest — and the disk-IO verdict must
+# still fire from the distributed evidence.
+dist-soak:
+	$(GO) test -race -run TestDistSoak -v ./internal/collector/
 
 # Profile the serial batch ingest: writes CPU and allocation profiles of
 # BenchmarkIngestBatch for `go tool pprof`. This is the loop the
@@ -93,6 +104,7 @@ fuzz:
 	$(GO) test -fuzz FuzzMySQLSlowLog -fuzztime 30s ./internal/parsers/
 	$(GO) test -fuzz FuzzTokenizerEquivalence -fuzztime 30s ./internal/parsers/
 	$(GO) test -fuzz FuzzShardedParseEquivalence -fuzztime 30s ./internal/transform/
+	$(GO) test -fuzz FuzzWireFrameDecode -fuzztime 30s ./internal/wire/
 
 # End-to-end chaos drill: run a trial, corrupt its logs deterministically,
 # ingest the damage under the quarantine policy, and diagnose anyway.

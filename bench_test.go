@@ -14,6 +14,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -804,4 +805,66 @@ func BenchmarkIngestStreaming(b *testing.B) {
 	}
 	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkIngestDistributed measures the agent/collector split over the
+// same corpus: four per-node agents tail, parse and ship their own tier's
+// logs over loopback TCP to one collector feeding the shared streaming
+// engine. Against BenchmarkIngestStreaming this prices the wire hop —
+// framing, credit flow control, acks — and reports bytes on the wire per
+// warehouse row, the number a deployment's network budget cares about.
+func BenchmarkIngestDistributed(b *testing.B) {
+	logs := logCorpus(b)
+	hosts := []string{"apache", "cjdbc", "mysql", "tomcat"}
+	var rows, wireB int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col, err := milliscope.NewCollector(milliscope.CollectorConfig{
+			Network: "tcp", Addr: "127.0.0.1:0",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := col.Start(); err != nil {
+			b.Fatal(err)
+		}
+		agents := make([]*milliscope.Agent, 0, len(hosts))
+		for _, h := range hosts {
+			host := h
+			a, err := milliscope.NewAgent(milliscope.AgentConfig{
+				ID:     "bench-" + host,
+				Addr:   col.Addr().String(),
+				LogDir: logs,
+				Poll:   2 * time.Millisecond,
+				Own:    func(name string) bool { return strings.HasPrefix(name, host+"_") },
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			a.Start()
+			agents = append(agents, a)
+		}
+		// A Stop before the agent's first dial would drain nothing: wait
+		// until every source is adopted, then drain (tail to EOF, ship,
+		// await every ack, Goodbye).
+		for col.Status().Opens < int64(2*len(hosts)) {
+			time.Sleep(time.Millisecond)
+		}
+		for _, a := range agents {
+			if err := a.Stop(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := col.Stop(); err != nil {
+			b.Fatal(err)
+		}
+		rows = col.Pipeline().Status().Rows
+		wireB = col.Status().WireRxBytes
+	}
+	if rows == 0 {
+		b.Fatal("distributed ingest loaded nothing")
+	}
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	b.ReportMetric(float64(rows), "rows")
+	b.ReportMetric(float64(wireB)/float64(rows), "wire_B/row")
 }

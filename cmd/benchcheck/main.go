@@ -79,15 +79,17 @@ func (b *baseline) UnmarshalJSON(data []byte) error {
 // checkedMetrics maps a baseline metric key to its direction: true means
 // lower is better (time), false means higher is better (throughput).
 var checkedMetrics = map[string]bool{
-	"ns_per_op":     true,
-	"allocs_per_op": true,
-	"rows_per_sec":  false,
+	"ns_per_op":          true,
+	"allocs_per_op":      true,
+	"rows_per_sec":       false,
+	"wire_bytes_per_row": true,
 }
 
 // unitToKey maps a `go test -bench` unit to the baseline metric key.
 var unitToKey = map[string]string{
 	"ns/op":           "ns_per_op",
 	"rows/s":          "rows_per_sec",
+	"wire_B/row":      "wire_bytes_per_row",
 	"rows":            "rows",
 	"B/op":            "bytes_per_op",
 	"allocs/op":       "allocs_per_op",

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/gt-elba/milliscope"
+)
+
+// cmdAgent runs the per-node shipping daemon: tail this node's monitor
+// logs, parse them locally, and ship checkpointed column batches to the
+// central collector. Ctrl-C drains every source to EOF, waits for the
+// collector's acks, and exits; a crash instead resumes from the
+// collector-acked offsets on the next start, with zero duplicate rows.
+func cmdAgent(args []string) error {
+	fs := flag.NewFlagSet("agent", flag.ContinueOnError)
+	id := fs.String("id", "", "stable agent identity, typically the node name (required)")
+	addr := fs.String("addr", "", "collector endpoint, host:port (required)")
+	network := fs.String("network", "tcp", "collector network: tcp | unix")
+	token := fs.String("token", "", "shared authentication token")
+	logs := fs.String("logs", "", "directory this node's monitors write (required)")
+	poll := fs.Duration("poll", 10*time.Millisecond, "tailer poll interval")
+	batch := fs.Int("batch", 0, "max records per batch frame (default 512)")
+	httpAddr := fs.String("http", "", "serve /status /metrics on this address (e.g. :8081)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" || *addr == "" || *logs == "" {
+		return fmt.Errorf("agent: --id, --addr and --logs are required")
+	}
+
+	a, err := milliscope.NewAgent(milliscope.AgentConfig{
+		ID:              *id,
+		Token:           *token,
+		Network:         *network,
+		Addr:            *addr,
+		LogDir:          *logs,
+		Poll:            *poll,
+		MaxBatchRecords: *batch,
+	})
+	if err != nil {
+		return err
+	}
+
+	var srv *http.Server
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return fmt.Errorf("agent: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(a.Status())
+		})
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			fmt.Fprint(w, a.MetricsText())
+		})
+		srv = &http.Server{Handler: mux}
+		go func() { _ = srv.Serve(ln) }()
+		fmt.Printf("serving /status /metrics on %s\n", ln.Addr())
+	}
+
+	a.Start()
+	fmt.Printf("agent %s shipping %s to %s://%s\n", *id, *logs, *network, *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+		fmt.Println("draining...")
+	case <-a.Done():
+		// The loop only exits on its own for a fatal error (rejected
+		// handshake) — surface it instead of hanging on the signal.
+	}
+	stopErr := a.Stop()
+	if srv != nil {
+		_ = srv.Close()
+	}
+	st := a.Status()
+	fmt.Printf("agent session: %d records in %d batches shipped, %d acks, %d reconnects, %d quarantined\n",
+		st.RecordsSent, st.BatchesSent, st.AcksReceived, st.Reconnects, st.Quarantined)
+	return stopErr
+}

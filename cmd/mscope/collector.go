@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/gt-elba/milliscope"
+)
+
+// cmdCollector runs the central ingest server: accept per-node agents,
+// apply their checkpointed batches to the shared streaming engine, ack
+// durable offsets, and raise millibottleneck alerts online. Ctrl-C
+// drains the engine — final windows classified, ledger checkpointed —
+// and saves the warehouse.
+func cmdCollector(args []string) error {
+	fs := flag.NewFlagSet("collector", flag.ContinueOnError)
+	listen := fs.String("listen", ":9090", "listen endpoint for agents, host:port")
+	network := fs.String("network", "tcp", "listen network: tcp | unix")
+	token := fs.String("token", "", "shared authentication token")
+	dbPath := fs.String("db", "", "warehouse file: loaded if present (resume), saved on exit")
+	window := fs.Duration("window", 50*time.Millisecond, "detector window width")
+	grace := fs.Duration("grace", 0, "classification grace past the watermark (default 2s)")
+	budget := fs.Float64("budget", 0, "quarantine error budget per source (0 = default 5%)")
+	credit := fs.Int64("credit", 0, "per-agent record credit window (default 4096)")
+	fidelity := fs.String("fidelity", "", "degradation mode: full | adaptive | aggregate (default full)")
+	httpAddr := fs.String("http", "", "serve /status /alerts /metrics on this address (e.g. :8080)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *fidelity {
+	case "", milliscope.FidelityModeFull, milliscope.FidelityModeAdaptive,
+		milliscope.FidelityModeAggregate:
+	default:
+		return fmt.Errorf("collector: unknown --fidelity %q (full | adaptive | aggregate)", *fidelity)
+	}
+
+	var db *milliscope.DB
+	if *dbPath != "" {
+		if _, statErr := os.Stat(*dbPath); statErr == nil {
+			var err error
+			db, err = milliscope.LoadDB(*dbPath)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("resuming warehouse %s\n", *dbPath)
+		}
+	}
+
+	engine := milliscope.LiveConfig{
+		DB:          db,
+		Window:      *window,
+		Grace:       *grace,
+		ErrorBudget: *budget,
+		Fidelity:    milliscope.LiveFidelityOptions{Mode: *fidelity},
+	}
+	engine.OnAlert = func(a milliscope.LiveAlert) {
+		fmt.Printf("ALERT @%s watermark=%dus window=[%d,%d]us: %s\n",
+			a.Raised.Format("15:04:05.000"), a.WatermarkUS,
+			a.Diagnosis.Window.StartMicros, a.Diagnosis.Window.EndMicros,
+			a.Diagnosis.Verdict)
+	}
+	col, err := milliscope.NewCollector(milliscope.CollectorConfig{
+		Token:   *token,
+		Network: *network,
+		Addr:    *listen,
+		Engine:  engine,
+		Credit:  *credit,
+	})
+	if err != nil {
+		return err
+	}
+	if err := col.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("collector listening on %s://%s\n", *network, col.Addr())
+
+	var srv *http.Server
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return fmt.Errorf("collector: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/", col.Pipeline().Handler())
+		mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(col.Status())
+		})
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			fmt.Fprint(w, col.MetricsText())
+		})
+		srv = &http.Server{Handler: mux}
+		go func() { _ = srv.Serve(ln) }()
+		fmt.Printf("serving /status /alerts /metrics on %s\n", ln.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("draining...")
+	stopErr := col.Stop()
+	if srv != nil {
+		_ = srv.Close()
+	}
+
+	st := col.Status()
+	fmt.Printf("collector session: %d records in %d batches from %d connections, %d sources, %d acks\n",
+		st.RecordsIn, st.BatchesIn, st.ConnsTotal, st.Opens, st.AcksOut)
+	for _, a := range col.Pipeline().Alerts() {
+		extra := ""
+		if len(a.Missing) > 0 {
+			extra = " DEGRADED missing " + strings.Join(a.Missing, ",")
+		}
+		fmt.Printf("alert %d: %s%s\n", a.ID, a.Diagnosis.Verdict, extra)
+	}
+	if *dbPath != "" {
+		if err := col.DB().Save(*dbPath); err != nil {
+			return err
+		}
+		fmt.Printf("warehouse saved to %s\n", *dbPath)
+	}
+	return stopErr
+}

@@ -10,6 +10,8 @@
 //	mscope query --db w.db 'SELECT ... FROM ...'      run an MQL query
 //	mscope report --db w.db --figure fig2             render a figure
 //	mscope experiment --out exp/                      regenerate everything
+//	mscope collector --listen :9090 --db w.db         central ingest server
+//	mscope agent --id n1 --logs logs/ --addr host:9090 per-node log shipper
 package main
 
 import (
@@ -43,6 +45,10 @@ func run(args []string) error {
 		return cmdIngest(args[1:])
 	case "live":
 		return cmdLive(args[1:])
+	case "agent":
+		return cmdAgent(args[1:])
+	case "collector":
+		return cmdCollector(args[1:])
 	case "chaos":
 		return cmdChaos(args[1:])
 	case "plan":
@@ -76,6 +82,10 @@ func usage() {
 commands:
   run        run a monitored trial (writes monitor logs + network trace)
   live       replay a trial at wall pace and detect millibottlenecks online
+  agent      per-node daemon: tail this node's logs, ship parsed batches
+             to the central collector, resume from acked offsets on restart
+  collector  central ingest server: adopt agent sources, ack durable
+             offsets, detect millibottlenecks online across the fleet
   chaos      copy a log directory injecting deterministic faults
   ingest     transform a log directory and load it into a warehouse file
              (--workers N shards files and parses them concurrently)

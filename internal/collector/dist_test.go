@@ -1,0 +1,432 @@
+package collector
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/agentd"
+	"github.com/gt-elba/milliscope/internal/core"
+	"github.com/gt-elba/milliscope/internal/faults"
+	"github.com/gt-elba/milliscope/internal/mscopedb"
+	"github.com/gt-elba/milliscope/internal/stream"
+)
+
+// hosts are the four monitored tiers. Each agent in these tests plays one
+// node: the simulator writes every tier's logs into one directory, and the
+// Own filter splits them by the "<host>_" filename prefix, exactly as a
+// real deployment splits them by machine.
+var hosts = []string{"apache", "cjdbc", "mysql", "tomcat"}
+
+func ownHost(host string) func(string) bool {
+	return func(name string) bool { return strings.HasPrefix(name, host+"_") }
+}
+
+// sourcesPerHost is what each tier writes: one event log and one collectl
+// CSV.
+const sourcesPerHost = 2
+
+var (
+	fullOnce sync.Once
+	fullDir  string
+	fullErr  error
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if fullDir != "" {
+		os.RemoveAll(fullDir)
+	}
+	os.Exit(code)
+}
+
+// stagedDBIO runs the full Section V-A disk-IO trial once per test binary;
+// the soak and partition tests need the anomaly strong enough for a
+// verdict, which the shrunk differential corpus is not.
+func stagedDBIO(t *testing.T) string {
+	t.Helper()
+	fullOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "mscope-dist-dbio-")
+		if err != nil {
+			fullErr = err
+			return
+		}
+		fullDir = dir
+		_, fullErr = core.RunExperiment(core.ScenarioDBIO(dir))
+	})
+	if fullErr != nil {
+		t.Fatalf("stage dbio trial: %v", fullErr)
+	}
+	return fullDir
+}
+
+// smallScenarios mirrors the batch differential suite: every Section V
+// trial, user counts trimmed so the sweep stays test-suite friendly while
+// the logs keep each scenario's anomaly.
+func smallScenarios() map[string]func(logDir string) core.ExperimentConfig {
+	shrink := func(mk func(string) core.ExperimentConfig) func(string) core.ExperimentConfig {
+		return func(logDir string) core.ExperimentConfig {
+			cfg := mk(logDir)
+			cfg.Ntier.Users = 50
+			return cfg
+		}
+	}
+	return map[string]func(string) core.ExperimentConfig{
+		"dbio":      shrink(core.ScenarioDBIO),
+		"dirtypage": shrink(core.ScenarioDirtyPage),
+		"jvmgc":     shrink(core.ScenarioJVMGC),
+		"dvfs":      shrink(core.ScenarioDVFS),
+	}
+}
+
+// warehouseDump snapshots a warehouse through its deterministic gob
+// persistence (tables iterate in sorted order, ledger loads are
+// epoch-stamped), so byte equality means row-for-row, cell-for-cell
+// equality — data tables and ingest-ledger offsets both.
+func warehouseDump(t *testing.T, db *mscopedb.DB) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "w.db")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// localDump ingests dir with the single-process streaming engine — the
+// ground truth every distributed shape must reproduce byte for byte.
+func localDump(t *testing.T, dir string, engine stream.Config) string {
+	t.Helper()
+	engine.LogDir = dir
+	pipe, err := stream.New(engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.Start()
+	if err := pipe.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	return warehouseDump(t, pipe.DB())
+}
+
+func startCollector(t *testing.T, cfg Config) *Collector {
+	t.Helper()
+	if cfg.Addr == "" && cfg.Listener == nil {
+		cfg.Network, cfg.Addr = "tcp", "127.0.0.1:0"
+	}
+	col, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+func startAgent(t *testing.T, col *Collector, dir, host string, mutate func(*agentd.Config)) *agentd.Agent {
+	t.Helper()
+	cfg := agentd.Config{
+		ID:     "agent-" + host,
+		Token:  col.cfg.Token,
+		Addr:   col.Addr().String(),
+		LogDir: dir,
+		Poll:   2 * time.Millisecond,
+		Own:    ownHost(host),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	a, err := agentd.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	return a
+}
+
+// drainAll stops every agent (full drain: tail to EOF, ship, await acks,
+// Goodbye) and then the collector (final windows classified, ledger
+// checkpointed).
+func drainAll(t *testing.T, col *Collector, agents []*agentd.Agent) {
+	t.Helper()
+	for _, a := range agents {
+		if err := a.Stop(); err != nil {
+			t.Fatalf("agent drain: %v", err)
+		}
+	}
+	if err := col.Stop(); err != nil {
+		t.Fatalf("collector stop: %v", err)
+	}
+}
+
+// distDump ingests dir through the full distributed path — one agent per
+// owner host shipping over loopback TCP to a central collector — and
+// returns the warehouse dump after a clean drain.
+func distDump(t *testing.T, dir string, owners []string, engine stream.Config) string {
+	t.Helper()
+	col := startCollector(t, Config{Engine: engine})
+	agents := make([]*agentd.Agent, 0, len(owners))
+	for _, h := range owners {
+		agents = append(agents, startAgent(t, col, dir, h, nil))
+	}
+	// An agent stopped before it ever dialed ships nothing at all: wait
+	// until every source has been adopted before draining.
+	want := int64(sourcesPerHost * len(owners))
+	waitFor(t, 30*time.Second, "all sources opened", func() bool {
+		return col.Status().Opens >= want
+	})
+	drainAll(t, col, agents)
+	return warehouseDump(t, col.DB())
+}
+
+// TestDistDifferentialScenariosClean is the distributed generalization of
+// the PR 3 conformance bar: four per-node agents shipping to one
+// collector must produce a warehouse byte-identical to single-process
+// streaming ingest of the same directory, on every Section V scenario.
+func TestDistDifferentialScenariosClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed differential sweep skipped in -short mode")
+	}
+	for name, mk := range smallScenarios() {
+		t.Run(name, func(t *testing.T) {
+			cfg := mk(t.TempDir())
+			cfg.Name = "dist-" + name
+			if _, err := core.RunExperiment(cfg); err != nil {
+				t.Fatal(err)
+			}
+			local := localDump(t, cfg.LogDir, stream.Config{})
+			dist := distDump(t, cfg.LogDir, hosts, stream.Config{})
+			if local != dist {
+				t.Errorf("distributed warehouse diverges from single-process ingest (local %d bytes, dist %d bytes)",
+					len(local), len(dist))
+			}
+		})
+	}
+}
+
+// TestDistDifferentialChaosSeeds replays the corruption differential over
+// the wire: damaged logs must quarantine and degrade identically whether
+// the parser runs next to the warehouse or on the agent's node.
+func TestDistDifferentialChaosSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed chaos differential skipped in -short mode")
+	}
+	cfg := smallScenarios()["dbio"](t.TempDir())
+	cfg.Name = "dist-chaos"
+	if _, err := core.RunExperiment(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{1, 2} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			corrupted := t.TempDir()
+			frep, err := faults.Corrupt(cfg.LogDir, corrupted, faults.Config{Seed: seed, Rate: 0.01})
+			if err != nil {
+				t.Fatal(err)
+			}
+			injected := 0
+			for _, k := range faults.LineKinds() {
+				injected += frep.Total(k)
+			}
+			if injected == 0 {
+				t.Fatal("fault injector corrupted nothing")
+			}
+			// A generous error budget on BOTH engines: where rejection
+			// triggers mid-stream depends on poll interleaving, so the
+			// set of post-rejection rows dropped is inherently
+			// timing-dependent. The conformance bar here is byte
+			// equality of the surviving rows and quarantine handling,
+			// which budget 1.0 makes deterministic.
+			engine := stream.Config{ErrorBudget: 1.0}
+			local := localDump(t, corrupted, engine)
+			dist := distDump(t, corrupted, hosts, engine)
+			if local != dist {
+				t.Errorf("chaos warehouse diverges from single-process ingest (local %d bytes, dist %d bytes)",
+					len(local), len(dist))
+			}
+		})
+	}
+}
+
+// TestDistSoak is the kill/restart soak: a throttled collector keeps the
+// replay mid-stream while one agent is crashed (no drain, no Goodbye) and
+// replaced. The replacement must resume from the collector-acked offsets
+// with zero duplicate and zero lost rows — proven by byte equality
+// against single-process ingest — and the disk-IO verdict must still
+// fire from the distributed evidence.
+func TestDistSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed soak skipped in -short mode")
+	}
+	stage := stagedDBIO(t)
+	want := localDump(t, stage, stream.Config{})
+
+	// The delayed consumer plus the small credit window hold each agent
+	// far from EOF long enough to kill one mid-stream.
+	col := startCollector(t, Config{
+		Engine: stream.Config{ConsumerDelay: 100 * time.Microsecond},
+		Credit: 512,
+	})
+	tune := func(c *agentd.Config) {
+		c.Poll = time.Millisecond
+		c.MaxBatchRecords = 128
+		c.ReconnectBase = 10 * time.Millisecond
+	}
+	agents := make([]*agentd.Agent, 0, len(hosts))
+	var victim *agentd.Agent
+	for _, h := range hosts {
+		a := startAgent(t, col, stage, h, tune)
+		if h == "tomcat" {
+			victim = a
+		} else {
+			agents = append(agents, a)
+		}
+	}
+	// Kill the tomcat node once the collector has adopted every source and
+	// applied a meaningful prefix of the victim's shipment — mid-file for
+	// both the resumable event log and the re-read-from-zero CSV.
+	waitFor(t, 120*time.Second, "mid-stream kill point", func() bool {
+		return col.Status().Opens >= int64(sourcesPerHost*len(hosts)) &&
+			col.Status().RecordsIn >= 2000 &&
+			victim.Status().RecordsSent >= 500
+	})
+	victim.Kill()
+
+	// Restart the node: a fresh agent over the same logs must resume from
+	// the collector's applied offsets.
+	restarted := startAgent(t, col, stage, "tomcat", func(c *agentd.Config) {
+		tune(c)
+		c.ID = "agent-tomcat-restarted"
+	})
+	agents = append(agents, restarted)
+	waitFor(t, 60*time.Second, "restarted agent re-adopting its sources", func() bool {
+		return col.Status().Opens >= int64(sourcesPerHost*len(hosts)+sourcesPerHost)
+	})
+	drainAll(t, col, agents)
+
+	got := warehouseDump(t, col.DB())
+	if got != want {
+		t.Errorf("kill/restart warehouse diverges from single-process ingest (dist %d bytes, local %d bytes): rows duplicated or lost across the resume",
+			len(got), len(want))
+	}
+	verdict := false
+	for _, a := range col.Pipeline().Alerts() {
+		if a.Diagnosis.Kind == core.CauseDiskIO && a.Diagnosis.Node == "mysql" {
+			verdict = true
+		}
+	}
+	if !verdict {
+		t.Errorf("disk-IO verdict missing from distributed run: alerts %+v", col.Pipeline().Alerts())
+	}
+}
+
+// TestDistPartitionedTier deploys agents on three of the four tiers —
+// the cjdbc node is partitioned away — and asserts the PR 1 degraded
+// diagnosis contract: the warehouse admits which evidence is missing,
+// and the verdict the surviving evidence supports still lands.
+func TestDistPartitionedTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("partitioned-tier test skipped in -short mode")
+	}
+	stage := stagedDBIO(t)
+	col := startCollector(t, Config{})
+	owners := []string{"apache", "tomcat", "mysql"}
+	agents := make([]*agentd.Agent, 0, len(owners))
+	for _, h := range owners {
+		agents = append(agents, startAgent(t, col, stage, h, nil))
+	}
+	waitFor(t, 30*time.Second, "partitioned fleet's sources opened", func() bool {
+		return col.Status().Opens >= int64(sourcesPerHost*len(owners))
+	})
+	drainAll(t, col, agents)
+
+	diag, err := core.Diagnose(col.DB(), 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diag.Degraded() {
+		t.Fatal("diagnosis over a partitioned tier must self-report as degraded")
+	}
+	foundCJDBC := false
+	for _, s := range diag.MissingSources {
+		if strings.Contains(s, "cjdbc_event") {
+			foundCJDBC = true
+		}
+	}
+	if !foundCJDBC {
+		t.Errorf("missing sources %v lack cjdbc_event", diag.MissingSources)
+	}
+	if len(diag.Windows) == 0 || diag.Windows[0].Kind != core.CauseDiskIO || diag.Windows[0].Node != "mysql" {
+		t.Errorf("degraded verdict diverged: %+v", diag.Windows)
+	}
+}
+
+// TestDistAuthReject: a wrong token is a fatal, surfaced error on the
+// agent — not a reconnect loop — and a counted rejection on the
+// collector, which must adopt nothing from the intruder.
+func TestDistAuthReject(t *testing.T) {
+	col := startCollector(t, Config{Token: "s3cret"})
+	a, err := agentd.New(agentd.Config{
+		ID:     "intruder",
+		Token:  "wrong",
+		Addr:   col.Addr().String(),
+		LogDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	waitFor(t, 10*time.Second, "handshake rejection", func() bool {
+		return col.Status().AuthFailures >= 1
+	})
+	err = a.Stop()
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Errorf("agent error = %v, want surfaced handshake rejection", err)
+	}
+	if got := col.Status().Opens; got != 0 {
+		t.Errorf("collector adopted %d sources from an unauthenticated agent", got)
+	}
+	if err := col.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistControlPropagation: the collector's fidelity state reaches the
+// agent via Control frames — the hook that turns central overload into
+// degraded shipping at the edge.
+func TestDistControlPropagation(t *testing.T) {
+	col := startCollector(t, Config{
+		Engine: stream.Config{
+			Fidelity: stream.FidelityOptions{Mode: stream.FidelityAggregate},
+		},
+		ControlEvery: 5 * time.Millisecond,
+	})
+	a := startAgent(t, col, t.TempDir(), "apache", nil)
+	waitFor(t, 10*time.Second, "fidelity state pushed to the agent", func() bool {
+		return a.Status().FidelityState == "aggregate"
+	})
+	if err := a.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -28,6 +28,15 @@ const (
 	Shed
 )
 
+// FromByte decodes a state shipped as a single wire byte (the collector's
+// Control frames); false for values outside the known range.
+func FromByte(b uint8) (State, bool) {
+	if b > uint8(Shed) {
+		return Full, false
+	}
+	return State(b), true
+}
+
 func (s State) String() string {
 	switch s {
 	case Full:

@@ -24,7 +24,7 @@ func TestRingTakeRangeSpansBufferBoundary(t *testing.T) {
 	// end, then promote a range that crosses the wrap point.
 	r := NewRing[int](5)
 	for i := 0; i < 8; i++ { // live entries 3..7, head mid-slice
-		r.Push(int64(i * 10), i)
+		r.Push(int64(i*10), i)
 	}
 	got := r.TakeRange(40, 60)
 	if want := []int{4, 5, 6}; !reflect.DeepEqual(got, want) {

@@ -37,10 +37,12 @@ import (
 // these constants (never computed strings) so the disabled path stays
 // allocation-free — cmd/selfobslint enforces it.
 const (
-	PipeIngest   = "ingest"
-	PipeLive     = "live"
-	PipeDiagnose = "diagnose"
-	PipeTrace    = "trace"
+	PipeIngest    = "ingest"
+	PipeLive      = "live"
+	PipeDiagnose  = "diagnose"
+	PipeTrace     = "trace"
+	PipeAgent     = "agent"
+	PipeCollector = "collector"
 )
 
 // Rec is one self-telemetry record: a completed span or a counter

@@ -116,11 +116,11 @@ func (p *Pipeline) Status() Status {
 			File:        s.name,
 			Table:       s.table,
 			State:       state,
-			Offset:      s.tail.Committed(),
+			Offset:      s.committedOff(),
 			Rows:        s.rows.Load(),
 			Quarantined: s.quarantined.Load(),
 			ParseErrors: s.parseErrs.Load(),
-			Rotations:   s.tail.Rotations(),
+			Rotations:   s.rotationCount(),
 			FrontierUS:  s.frontierUS.Load(),
 		}
 		if err != nil {

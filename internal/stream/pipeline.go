@@ -69,6 +69,12 @@ type Config struct {
 	// OnAlert, when set, receives each alert as it fires, from the loader
 	// goroutine: it must not block on the pipeline itself.
 	OnAlert func(Alert)
+
+	// remote marks an engine fed over the network instead of by the tail
+	// loop (set by NewRemote): no LogDir, no file discovery, no parsers —
+	// sources are registered with OpenRemote and records injected with
+	// RemoteSource.Append.
+	remote bool
 }
 
 // minBudgetSamples is how many records a source must produce before the
@@ -78,7 +84,7 @@ const minBudgetSamples = 200
 
 func (c *Config) withDefaults() (Config, error) {
 	out := *c
-	if out.LogDir == "" {
+	if out.LogDir == "" && !out.remote {
 		return out, fmt.Errorf("stream: Config.LogDir is required")
 	}
 	if out.DB == nil {
@@ -108,10 +114,13 @@ func (c *Config) withDefaults() (Config, error) {
 	return out, nil
 }
 
-// rec is one parsed record in flight from a parser to the loader.
+// rec is one parsed record in flight from a parser to the loader. done,
+// when set, is invoked by the loader after the record is fully processed —
+// the remote ingest path hangs ack and flow-control accounting off it.
 type rec struct {
 	src   *source
 	entry mxml.Entry
+	done  func()
 }
 
 // Pipeline is the live ingest-and-detect engine. Start launches the tail
@@ -190,7 +199,9 @@ func (p *Pipeline) Start() {
 	p.running = true
 	p.started = time.Now()
 	p.mu.Unlock()
-	go p.tailLoop()
+	if !p.cfg.remote {
+		go p.tailLoop()
+	}
 	go p.loader()
 }
 
@@ -207,7 +218,13 @@ func (p *Pipeline) Stop() error {
 	p.stopped = true
 	p.mu.Unlock()
 	if !already {
-		close(p.stopCh)
+		if p.cfg.remote {
+			// No tail loop owns the record channel in remote mode; the
+			// caller guarantees every feeder has quiesced before Stop.
+			close(p.recs)
+		} else {
+			close(p.stopCh)
+		}
 	}
 	<-p.loadDone
 	p.mu.Lock()
@@ -303,6 +320,38 @@ func resumableAtOffset(b transform.Binding) bool {
 	}
 }
 
+// resumePoint consults the ingest ledger for where a source restarts:
+// byte-resumable formats return the checkpointed offset and carry the
+// consumed count forward; header-carrying formats re-read from zero and
+// drop already-consumed records by count instead. The skip distance is
+// the larger of the table's rows and the ledger's consumed count: equal
+// for full-fidelity sessions, but a degraded session consumes (rolls up,
+// sheds, promotes) far more records than it appends, and re-processing
+// those would duplicate every previously promoted row.
+func (p *Pipeline) resumePoint(s *source) int64 {
+	off, known := p.db.LatestIngestOffset(s.path)
+	if !known || off <= 0 {
+		return 0
+	}
+	if resumableAtOffset(s.binding) {
+		if n, ok := p.db.LatestIngestRows(s.path); ok {
+			s.consumedBase.Store(n)
+		}
+		return off
+	}
+	var skip int64
+	if p.db.HasTable(s.table) {
+		if t, terr := p.db.Table(s.table); terr == nil {
+			skip = int64(t.Rows())
+		}
+	}
+	if n, ok := p.db.LatestIngestRows(s.path); ok && n > skip {
+		skip = n
+	}
+	s.skipEntries.Store(skip)
+	return 0
+}
+
 // addSource registers one file: resolve its binding, decide the resume
 // point from the ingest ledger, start its tailer and parser.
 func (p *Pipeline) addSource(full, name string) {
@@ -321,31 +370,7 @@ func (p *Pipeline) addSource(full, name string) {
 		parser:  parser,
 		state:   StateActive,
 	}
-	var offset int64
-	if off, known := p.db.LatestIngestOffset(full); known && off > 0 {
-		if resumableAtOffset(b) {
-			offset = off
-			if n, ok := p.db.LatestIngestRows(full); ok {
-				s.consumedBase = n
-			}
-		} else {
-			// Header-carrying format: re-read from zero but drop the
-			// records already consumed — the row-level resume. The skip
-			// distance is the larger of the table's rows and the ledger's
-			// consumed count: equal for full-fidelity sessions, but a
-			// degraded session consumes (rolls up, sheds, promotes) far
-			// more records than it appends, and re-processing those would
-			// duplicate every previously promoted row.
-			if p.db.HasTable(s.table) {
-				if t, terr := p.db.Table(s.table); terr == nil {
-					s.skipEntries = int64(t.Rows())
-				}
-			}
-			if n, ok := p.db.LatestIngestRows(full); ok && n > s.skipEntries {
-				s.skipEntries = n
-			}
-		}
-	}
+	offset := p.resumePoint(s)
 	s.tail = NewTailer(full, offset)
 	pr, pw := io.Pipe()
 	s.pw = pw
@@ -472,72 +497,9 @@ func (p *Pipeline) loader() {
 	defer func() { p.loaderObs = nil }()
 	var lastLow int64
 	for r := range p.recs {
-		if p.cfg.ConsumerDelay > 0 {
-			time.Sleep(p.cfg.ConsumerDelay)
-		}
-		s := r.src
-		if st, _ := s.status(); st == StateRejected {
-			continue
-		}
-		s.consumed.Add(1)
-		us, hasTS := s.eventTimeUS(&r.entry)
-		if s.skipEntries > 0 {
-			s.skipEntries--
-		} else {
-			s.processed.Add(1)
-			if s.host == "apache" && s.binding.TableSuffix == "event" {
-				p.observeFront(&r.entry)
-			}
-			if st := p.fidState(); st == fidelity.Full || !hasTS {
-				// Full fidelity — and the degraded modes' fallback for the
-				// rare record with no usable clock, which neither the ring
-				// nor the rollup grid could place.
-				if s.app == nil {
-					s.app = newAppender(p.db, s.table)
-				}
-				if err := s.app.append(r.entry); err != nil {
-					s.setState(StateFailed, err)
-					p.wm.Finish(s.path)
-					p.recordLoadErr(err)
-					continue
-				}
-				s.rows.Add(1)
-				p.rowsTotal.Add(1)
-				obsRowsAppended.Add(1)
-			} else {
-				p.fid.degrade(s, &r.entry, us, st)
-			}
-		}
-		if hasTS {
-			p.wm.Observe(s.path, us)
-			s.frontierUS.Store(us)
-		}
-		if q := s.quarantined.Load(); q > 0 {
-			total := s.processed.Load() + q
-			if total >= minBudgetSamples && float64(q)/float64(total) > p.cfg.ErrorBudget {
-				s.setState(StateRejected, fmt.Errorf(
-					"stream: %s: corrupt-record ratio %.4f exceeds error budget %.4f (%d of %d)",
-					s.name, float64(q)/float64(total), p.cfg.ErrorBudget, q, total))
-				p.wm.Finish(s.path)
-			}
-		}
-		if p.fid != nil {
-			p.fid.sinceEval++
-			if p.fid.sinceEval >= p.fid.opts.EvalEvery {
-				p.fid.sinceEval = 0
-				p.evalPressure()
-			}
-		}
-		if low, ok := p.wm.Low(); ok && low != finalLow && low >= lastLow+p.det.windowUS {
-			lastLow = low
-			obsWatermarkMoves.Add(1)
-			p.evalPressure()
-			p.flushRollup(low, false)
-			sp := obs.Begin(selfobs.PipeLive, "detect", "advance", "")
-			alerts := p.det.advance(low, false, p.cfg.Window, time.Now)
-			sp.End(int64(len(alerts)), 0)
-			p.raise(alerts)
-			p.expireRings(low)
+		p.processRec(r, obs, &lastLow)
+		if r.done != nil {
+			r.done()
 		}
 	}
 	// Channel closed: every parser is done. Classify the remainder with
@@ -552,6 +514,79 @@ func (p *Pipeline) loader() {
 	sp = obs.Begin(selfobs.PipeLive, "checkpoint", "final", "")
 	p.checkpoint()
 	sp.End(int64(p.rowsTotal.Load()), 0)
+}
+
+// processRec is the loader's per-record work: append (or degrade) the row,
+// advance frontiers, enforce the error budget, drive the fidelity
+// controller, and run the detector as the watermark moves.
+func (p *Pipeline) processRec(r rec, obs *selfobs.Buf, lastLow *int64) {
+	if p.cfg.ConsumerDelay > 0 {
+		time.Sleep(p.cfg.ConsumerDelay)
+	}
+	s := r.src
+	if st, _ := s.status(); st == StateRejected {
+		return
+	}
+	s.consumed.Add(1)
+	us, hasTS := s.eventTimeUS(&r.entry)
+	if s.skipEntries.Load() > 0 {
+		s.skipEntries.Add(-1)
+	} else {
+		s.processed.Add(1)
+		if s.host == "apache" && s.binding.TableSuffix == "event" {
+			p.observeFront(&r.entry)
+		}
+		if st := p.fidState(); st == fidelity.Full || !hasTS {
+			// Full fidelity — and the degraded modes' fallback for the
+			// rare record with no usable clock, which neither the ring
+			// nor the rollup grid could place.
+			if s.app == nil {
+				s.app = newAppender(p.db, s.table)
+			}
+			if err := s.app.append(r.entry); err != nil {
+				s.setState(StateFailed, err)
+				p.wm.Finish(s.path)
+				p.recordLoadErr(err)
+				return
+			}
+			s.rows.Add(1)
+			p.rowsTotal.Add(1)
+			obsRowsAppended.Add(1)
+		} else {
+			p.fid.degrade(s, &r.entry, us, st)
+		}
+	}
+	if hasTS {
+		p.wm.Observe(s.path, us)
+		s.frontierUS.Store(us)
+	}
+	if q := s.quarantined.Load(); q > 0 {
+		total := s.processed.Load() + q
+		if total >= minBudgetSamples && float64(q)/float64(total) > p.cfg.ErrorBudget {
+			s.setState(StateRejected, fmt.Errorf(
+				"stream: %s: corrupt-record ratio %.4f exceeds error budget %.4f (%d of %d)",
+				s.name, float64(q)/float64(total), p.cfg.ErrorBudget, q, total))
+			p.wm.Finish(s.path)
+		}
+	}
+	if p.fid != nil {
+		p.fid.sinceEval++
+		if p.fid.sinceEval >= p.fid.opts.EvalEvery {
+			p.fid.sinceEval = 0
+			p.evalPressure()
+		}
+	}
+	if low, ok := p.wm.Low(); ok && low != finalLow && low >= *lastLow+p.det.windowUS {
+		*lastLow = low
+		obsWatermarkMoves.Add(1)
+		p.evalPressure()
+		p.flushRollup(low, false)
+		sp := obs.Begin(selfobs.PipeLive, "detect", "advance", "")
+		alerts := p.det.advance(low, false, p.cfg.Window, time.Now)
+		sp.End(int64(len(alerts)), 0)
+		p.raise(alerts)
+		p.expireRings(low)
+	}
 }
 
 // observeFront folds a front-tier event into the online PIT statistic.
@@ -593,14 +628,20 @@ func (p *Pipeline) raise(alerts []Alert) {
 // the same directory, or a restarted live session, resumes from here
 // instead of duplicating rows.
 func (p *Pipeline) checkpoint() {
-	for _, s := range p.snapshot() {
+	// Sorted by source path: single-process discovery already yields this
+	// order, and remote sources — whose Open order depends on network
+	// arrival — must checkpoint identically for the ledger to be
+	// byte-equal across deployment shapes.
+	snap := p.snapshot()
+	sort.Slice(snap, func(i, j int) bool { return snap[i].path < snap[j].path })
+	for _, s := range snap {
 		s.setState(StateDone, nil)
-		consumed := s.consumedBase + s.consumed.Load()
+		consumed := s.consumedBase.Load() + s.consumed.Load()
 		if !p.db.HasTable(s.table) && consumed == 0 {
 			continue
 		}
 		if err := p.db.RecordIngestAt(s.table, s.path, int(consumed),
-			s.tail.Committed(), simtime.Epoch); err != nil {
+			s.committedOff(), simtime.Epoch); err != nil {
 			p.recordLoadErr(err)
 		}
 	}

@@ -52,12 +52,25 @@ type source struct {
 	// skipEntries > 0 means the parse restarts from byte zero (the format
 	// needs its header) and this many already-consumed records are dropped
 	// before processing resumes — the row-level half of idempotent resume.
-	skipEntries int64
+	// Atomic because a remote source's reopen (on the connection goroutine)
+	// re-arms it while the loader owns the decrements.
+	skipEntries atomic.Int64
 	// consumedBase is the consumed-record count carried over from prior
 	// sessions when the tailer byte-resumes mid-file (re-read-from-zero
 	// resumes re-count naturally and leave it 0). consumed + consumedBase
 	// is what the checkpoint ledger records.
-	consumedBase int64
+	consumedBase atomic.Int64
+
+	// Remote sources (no tailer): the byte offset covered by every applied
+	// batch, and the consumed-record total at the moment that offset was
+	// stored — together they let a reconnecting agent resume mid-cycle
+	// with the re-shipped overlap skipped exactly.
+	remoteOff  atomic.Int64
+	remoteRows atomic.Int64
+	// pending counts this source's records sitting between a remote feeder
+	// and the loader; a reconnect's reopen waits for it to drain before
+	// touching the resume arithmetic.
+	pending atomic.Int64
 
 	app *appender // loader-owned
 
@@ -101,6 +114,24 @@ func (s *source) status() (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.state, s.err
+}
+
+// committedOff is the resumable byte offset: the tailer's committed
+// position locally, the last applied batch offset for a remote source.
+func (s *source) committedOff() int64 {
+	if s.tail != nil {
+		return s.tail.Committed()
+	}
+	return s.remoteOff.Load()
+}
+
+// rotationCount is tailer rotations; remote sources report their agent's
+// rotations out of band, not here.
+func (s *source) rotationCount() int64 {
+	if s.tail != nil {
+		return s.tail.Rotations()
+	}
+	return 0
 }
 
 // eventTimeUS extracts the record's event time: departure (ud) for event

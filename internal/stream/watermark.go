@@ -55,6 +55,15 @@ func (w *Watermark) Finish(src string) {
 	w.done[src] = true
 }
 
+// Reopen clears a source's done mark: a remote agent that disconnected
+// mid-stream (its sources finished so the watermark could advance) has
+// come back and will constrain window closure again.
+func (w *Watermark) Reopen(src string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.done, src)
+}
+
 // Frontier returns a source's current frontier.
 func (w *Watermark) Frontier(src string) int64 {
 	w.mu.Lock()

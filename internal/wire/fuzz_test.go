@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"github.com/gt-elba/milliscope/internal/mxml"
+)
+
+// frameBytes encodes one frame to raw bytes for the seed corpus.
+func frameBytes(typ byte, payload []byte) []byte {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, typ, payload); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzWireFrameDecode is the satellite fuzz target: arbitrary bytes must
+// never panic the frame reader or any message decoder, and well-formed
+// frames (the seed corpus) must round-trip exactly.
+func FuzzWireFrameDecode(f *testing.F) {
+	f.Add(frameBytes(TypeHello, EncodeHello(Hello{Version: Version, AgentID: "a1", Token: "t"})))
+	f.Add(frameBytes(TypeHelloAck, EncodeHelloAck(HelloAck{OK: true, Credit: 4096})))
+	f.Add(frameBytes(TypeOpen, EncodeOpen(Open{SourceID: 1, Key: "/x/apache_event.log", Name: "apache_event.log"})))
+	f.Add(frameBytes(TypeResume, EncodeResume(Resume{SourceID: 1, Offset: 99})))
+	f.Add(frameBytes(TypeAck, EncodeAck(Ack{SourceID: 1, Seq: 7, Offset: 1024, Credit: 128})))
+	f.Add(frameBytes(TypeControl, EncodeControl(Control{State: 1, QueuePct: 50})))
+	f.Add(frameBytes(TypeSourceState, EncodeSourceState(SourceState{SourceID: 2, State: SourceFailed, Error: "x"})))
+	f.Add(frameBytes(TypeGoodbye, EncodeGoodbye(Goodbye{Reason: "done"})))
+	b := Batch{SourceID: 5, Seq: 3, Offset: 512, Quarantined: 1}
+	b.AppendEntries([]mxml.Entry{
+		{Fields: []mxml.Field{{Name: "reqid", Value: "R1"}, {Name: "ud", Value: "42"}}},
+		{Fields: []mxml.Field{{Name: "ts", Value: "now", Hint: "time"}}},
+	})
+	f.Add(frameBytes(TypeBatch, EncodeBatch(&b)))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, TypeGoodbye})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			typ, payload, err := ReadFrame(r)
+			if err != nil {
+				if err != io.EOF && err != io.ErrUnexpectedEOF && err.Error() == "" {
+					t.Fatalf("empty error")
+				}
+				return
+			}
+			// Whatever the bytes, decoding must return, not panic.
+			switch typ {
+			case TypeHello:
+				if h, err := DecodeHello(payload); err == nil {
+					if got, err2 := DecodeHello(EncodeHello(h)); err2 != nil || got != h {
+						t.Fatalf("hello re-encode mismatch: %+v vs %+v (%v)", h, got, err2)
+					}
+				}
+			case TypeHelloAck:
+				if v, err := DecodeHelloAck(payload); err == nil {
+					if got, err2 := DecodeHelloAck(EncodeHelloAck(v)); err2 != nil || got != v {
+						t.Fatalf("helloack re-encode mismatch")
+					}
+				}
+			case TypeOpen:
+				if v, err := DecodeOpen(payload); err == nil {
+					if got, err2 := DecodeOpen(EncodeOpen(v)); err2 != nil || got != v {
+						t.Fatalf("open re-encode mismatch")
+					}
+				}
+			case TypeResume:
+				if v, err := DecodeResume(payload); err == nil {
+					if got, err2 := DecodeResume(EncodeResume(v)); err2 != nil || got != v {
+						t.Fatalf("resume re-encode mismatch")
+					}
+				}
+			case TypeAck:
+				if v, err := DecodeAck(payload); err == nil {
+					if got, err2 := DecodeAck(EncodeAck(v)); err2 != nil || got != v {
+						t.Fatalf("ack re-encode mismatch")
+					}
+				}
+			case TypeControl:
+				if v, err := DecodeControl(payload); err == nil {
+					if got, err2 := DecodeControl(EncodeControl(v)); err2 != nil || got != v {
+						t.Fatalf("control re-encode mismatch")
+					}
+				}
+			case TypeSourceState:
+				if v, err := DecodeSourceState(payload); err == nil {
+					if got, err2 := DecodeSourceState(EncodeSourceState(v)); err2 != nil || got != v {
+						t.Fatalf("sourcestate re-encode mismatch")
+					}
+				}
+			case TypeGoodbye:
+				if v, err := DecodeGoodbye(payload); err == nil {
+					if got, err2 := DecodeGoodbye(EncodeGoodbye(v)); err2 != nil || got != v {
+						t.Fatalf("goodbye re-encode mismatch")
+					}
+				}
+			case TypeBatch:
+				if v, err := DecodeBatch(payload); err == nil {
+					// Decoded batches re-encode to the identical wire form:
+					// decode → encode → decode is a fixed point.
+					re, err2 := DecodeBatch(EncodeBatch(&v))
+					if err2 != nil || !reflect.DeepEqual(re, v) {
+						t.Fatalf("batch re-encode mismatch (%v)", err2)
+					}
+				}
+			}
+		}
+	})
+}

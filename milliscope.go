@@ -34,6 +34,8 @@ import (
 	"os"
 	"time"
 
+	"github.com/gt-elba/milliscope/internal/agentd"
+	"github.com/gt-elba/milliscope/internal/collector"
 	"github.com/gt-elba/milliscope/internal/core"
 	"github.com/gt-elba/milliscope/internal/faults"
 	"github.com/gt-elba/milliscope/internal/metrics"
@@ -427,3 +429,33 @@ func SelfTraceBreakdown(db *DB) ([]SelfTraceBatch, error) { return core.SelfTrac
 func RenderSelfTrace(w io.Writer, batches []SelfTraceBatch) error {
 	return core.RenderSelfTrace(w, batches)
 }
+
+// Distributed deployment: per-node agents tail and parse their own
+// monitor logs and ship checkpointed column batches to one central
+// collector, whose warehouse is byte-identical to single-process ingest
+// of the same logs (internal/agentd, internal/collector).
+type (
+	// AgentConfig parameterizes one per-node shipping agent.
+	AgentConfig = agentd.Config
+	// Agent tails a node's logs and ships parsed batches to a collector.
+	// Start launches it; Stop drains to EOF and says goodbye.
+	Agent = agentd.Agent
+	// AgentStatus is a point-in-time agent snapshot.
+	AgentStatus = agentd.Status
+	// CollectorConfig parameterizes the central ingest server. Its Engine
+	// field is a LiveConfig with LogDir left empty: window, skew, error
+	// budget and fidelity apply exactly as in `mscope live`.
+	CollectorConfig = collector.Config
+	// Collector accepts agent connections, acks durable offsets, and
+	// feeds the shared streaming engine — warehouse, watermark, online
+	// detector and all.
+	Collector = collector.Collector
+	// CollectorStatus is a point-in-time collector snapshot.
+	CollectorStatus = collector.Status
+)
+
+// NewAgent validates the config and builds a shipping agent.
+func NewAgent(cfg AgentConfig) (*Agent, error) { return agentd.New(cfg) }
+
+// NewCollector builds the central collector and its remote-fed engine.
+func NewCollector(cfg CollectorConfig) (*Collector, error) { return collector.New(cfg) }
