@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet selfobs-lint test test-short race race-short bench bench-check overhead-check fidelity-check overload-soak dist-soak profile-ingest cover fuzz chaos live-smoke experiment clean
+.PHONY: all build vet selfobs-lint test test-short race race-short bench bench-check overhead-check fidelity-check overload-soak dist-soak scenario-soak profile-ingest cover fuzz chaos live-smoke experiment clean
 
-all: build vet selfobs-lint race-short live-smoke test bench-check overhead-check fidelity-check overload-soak dist-soak
+all: build vet selfobs-lint race-short live-smoke test bench-check overhead-check fidelity-check overload-soak dist-soak scenario-soak
 
 build:
 	$(GO) build ./...
@@ -77,6 +77,13 @@ overload-soak:
 dist-soak:
 	$(GO) test -race -run TestDistSoak -v ./internal/collector/
 
+# Fault-catalogue soak under the race detector: every registered scenario
+# runs end to end (generate → ingest → diagnose, then a live replay
+# through the streaming pipeline) and must reach exactly its declared
+# verdict both offline and online. Per-scenario timing is printed.
+scenario-soak:
+	$(GO) run -race ./cmd/mscope scenario verify --all --live
+
 # Profile the serial batch ingest: writes CPU and allocation profiles of
 # BenchmarkIngestBatch for `go tool pprof`. This is the loop the
 # direct-path work optimizes; start here before touching the hot path.
@@ -98,13 +105,15 @@ cover:
 	$(GO) test -short -cover ./...
 
 # Short fuzz pass over the event-log parsers (native go fuzzing), plus
-# the shard-planner equivalence property one layer up.
+# the shard-planner equivalence property one layer up and the scenario
+# spec decoder (malformed catalogue entries must error, never panic).
 fuzz:
 	$(GO) test -fuzz FuzzApacheAccessLog -fuzztime 30s ./internal/parsers/
 	$(GO) test -fuzz FuzzMySQLSlowLog -fuzztime 30s ./internal/parsers/
 	$(GO) test -fuzz FuzzTokenizerEquivalence -fuzztime 30s ./internal/parsers/
 	$(GO) test -fuzz FuzzShardedParseEquivalence -fuzztime 30s ./internal/transform/
 	$(GO) test -fuzz FuzzWireFrameDecode -fuzztime 30s ./internal/wire/
+	$(GO) test -fuzz FuzzScenarioConfigDecode -fuzztime 30s ./internal/scenario/
 
 # End-to-end chaos drill: run a trial, corrupt its logs deterministically,
 # ingest the damage under the quarantine policy, and diagnose anyway.

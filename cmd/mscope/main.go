@@ -12,6 +12,7 @@
 //	mscope experiment --out exp/                      regenerate everything
 //	mscope collector --listen :9090 --db w.db         central ingest server
 //	mscope agent --id n1 --logs logs/ --addr host:9090 per-node log shipper
+//	mscope scenario verify --all --live               fault-catalogue soak
 package main
 
 import (
@@ -65,6 +66,8 @@ func run(args []string) error {
 		return cmdTrace(args[1:])
 	case "selftrace":
 		return cmdSelfTrace(args[1:])
+	case "scenario":
+		return cmdScenario(args[1:])
 	case "experiment":
 		return cmdExperiment(args[1:])
 	case "help", "-h", "--help":
@@ -97,6 +100,9 @@ commands:
   trace      render one request's causal path (Figure 5)
   selftrace  per-stage critical-path breakdown of milliScope's own
              telemetry (ingest a log produced with --self-log first)
+  scenario   declarative fault catalogue: list the registry, run one
+             entry, or verify entries end to end against their expected
+             verdicts (batch, and online with --live)
   experiment run + ingest + report for every paper figure`)
 }
 
@@ -121,7 +127,17 @@ func scenarioConfig(name, out string, users int, duration time.Duration, seed in
 		}
 		cfg = milliscope.ScenarioAccuracy(out, users, duration)
 	default:
-		return cfg, fmt.Errorf("unknown scenario %q (dbio, dirtypage, jvmgc, dvfs, accuracy)", name)
+		// Fall back to the declarative catalogue, so every registered
+		// scenario is runnable through the plain `run` workflow too.
+		s, ok := milliscope.ScenarioByName(name)
+		if !ok {
+			return cfg, fmt.Errorf("unknown scenario %q (dbio, dirtypage, jvmgc, dvfs, accuracy, or a `scenario list` entry)", name)
+		}
+		built, err := milliscope.BuildScenario(s, out)
+		if err != nil {
+			return cfg, err
+		}
+		cfg = built
 	}
 	if users != 0 {
 		cfg.Ntier.Users = users

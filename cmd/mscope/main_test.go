@@ -40,6 +40,18 @@ func TestScenarioConfigResolution(t *testing.T) {
 			t.Fatalf("%s scenario has no injectors", name)
 		}
 	}
+	// Names outside the legacy switch fall back to the declarative
+	// catalogue, with the same override semantics.
+	cfg, err = scenarioConfig("connpool", "/tmp/x", 0, 0, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "connpool" || len(cfg.Injectors) == 0 || cfg.LogDir != "/tmp/x" {
+		t.Fatalf("catalogue fallback: %+v", cfg)
+	}
+	if cfg.Ntier.Seed != 77 {
+		t.Fatalf("catalogue fallback seed override not applied: %+v", cfg.Ntier)
+	}
 	if _, err := scenarioConfig("nope", "/tmp/x", 0, 0, 0); err == nil {
 		t.Fatal("unknown scenario accepted")
 	}

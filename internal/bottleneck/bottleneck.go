@@ -200,6 +200,154 @@ func (d DVFS) Describe() string {
 		d.Node, time.Duration(d.At), d.Duration, d.Speed)
 }
 
+// ConnPoolSeize leaks Held connections from the named tier's downstream
+// pool for [At, At+Duration): stuck backend connections (a mod_jk or JDBC
+// pool bleed). Requests needing a free connection block FIFO while still
+// holding their own tier's worker thread, so the exhaustion amplifies into
+// upstream queue growth with every resource gauge flat — a pure software
+// bottleneck.
+type ConnPoolSeize struct {
+	Tier     string
+	At       des.Time
+	Duration time.Duration
+	Held     int
+}
+
+var _ Injector = ConnPoolSeize{}
+
+// Inject arms the seizure.
+func (c ConnPoolSeize) Inject(sys *ntier.System) {
+	if c.Duration <= 0 {
+		panic(fmt.Sprintf("bottleneck: non-positive seizure duration %v", c.Duration))
+	}
+	sys.SeizeConns(c.Tier, c.Held, c.At, c.At+des.Time(c.Duration))
+}
+
+// Describe summarizes the fault.
+func (c ConnPoolSeize) Describe() string {
+	return fmt.Sprintf("conn-pool-seize tier=%s at=%v dur=%v held=%d",
+		c.Tier, time.Duration(c.At), c.Duration, c.Held)
+}
+
+// LockConvoy serializes every database query issued during [At,
+// At+Duration) behind a single row lock, each owner holding it ~Hold. The
+// DB tier's queue balloons and pushes back through every upstream tier
+// while CPU and disk stay idle — contention invisible to resource
+// monitors, exactly the class the paper's event monitors exist to catch.
+type LockConvoy struct {
+	At       des.Time
+	Duration time.Duration
+	Hold     time.Duration
+}
+
+var _ Injector = LockConvoy{}
+
+// Inject arms the convoy.
+func (l LockConvoy) Inject(sys *ntier.System) {
+	if l.Duration <= 0 {
+		panic(fmt.Sprintf("bottleneck: non-positive convoy duration %v", l.Duration))
+	}
+	sys.ArmLockConvoy(l.At, l.At+des.Time(l.Duration), l.Hold)
+}
+
+// Describe summarizes the fault.
+func (l LockConvoy) Describe() string {
+	return fmt.Sprintf("lock-convoy at=%v dur=%v hold=%v",
+		time.Duration(l.At), l.Duration, l.Hold)
+}
+
+// CacheStampede models a mass buffer-pool expiry: during [At, At+Duration)
+// queries miss the cache with probability MissProb and each miss reads
+// ReadKB from the database disk, so concurrent queries stampede the
+// spindle with reads — the read-side twin of the redo-log flush.
+type CacheStampede struct {
+	At       des.Time
+	Duration time.Duration
+	MissProb float64
+	ReadKB   int
+}
+
+var _ Injector = CacheStampede{}
+
+// Inject arms the expiry window.
+func (c CacheStampede) Inject(sys *ntier.System) {
+	if c.Duration <= 0 {
+		panic(fmt.Sprintf("bottleneck: non-positive stampede duration %v", c.Duration))
+	}
+	sys.ArmCacheExpiry(c.At, c.At+des.Time(c.Duration), c.MissProb, c.ReadKB)
+}
+
+// Describe summarizes the fault.
+func (c CacheStampede) Describe() string {
+	return fmt.Sprintf("cache-stampede at=%v dur=%v miss=%.2f read=%dKB",
+		time.Duration(c.At), c.Duration, c.MissProb, c.ReadKB)
+}
+
+// NetJitter adds ~Extra of one-way latency (both directions) to the
+// (Src, Dst) link during [At, At+Duration): a congested or flapping
+// switch. Requests slow down without any tier-local residence growing —
+// the gap shows up only between one tier's DS and the next tier's UA.
+type NetJitter struct {
+	Src, Dst string
+	At       des.Time
+	Duration time.Duration
+	Extra    time.Duration
+}
+
+var _ Injector = NetJitter{}
+
+// Inject arms the jitter window.
+func (n NetJitter) Inject(sys *ntier.System) {
+	if n.Duration <= 0 {
+		panic(fmt.Sprintf("bottleneck: non-positive jitter duration %v", n.Duration))
+	}
+	sys.ArmNetJitter(n.Src, n.Dst, n.At, n.At+des.Time(n.Duration), n.Extra)
+}
+
+// Describe summarizes the fault.
+func (n NetJitter) Describe() string {
+	return fmt.Sprintf("net-jitter link=%s-%s at=%v dur=%v extra=%v",
+		n.Src, n.Dst, time.Duration(n.At), n.Duration, n.Extra)
+}
+
+// CrashLoop stalls every worker of the named tier for Outage, repeating
+// each Period, Count times: a crash-looping process whose supervisor keeps
+// restarting it. While down the tier logs nothing past arrival marks, so
+// the ingested evidence for it is missing or degraded and diagnosis must
+// survive on the remaining tiers (the MissingSources path).
+type CrashLoop struct {
+	Node   string
+	At     des.Time
+	Outage time.Duration
+	Period time.Duration
+	Count  int
+}
+
+var _ Injector = CrashLoop{}
+
+// Inject arms every crash episode.
+func (c CrashLoop) Inject(sys *ntier.System) {
+	if c.Count <= 0 {
+		panic(fmt.Sprintf("bottleneck: crash-loop count %d", c.Count))
+	}
+	if c.Outage <= 0 {
+		panic(fmt.Sprintf("bottleneck: non-positive outage %v", c.Outage))
+	}
+	if c.Count > 1 && c.Period <= c.Outage {
+		panic(fmt.Sprintf("bottleneck: crash-loop period %v within outage %v", c.Period, c.Outage))
+	}
+	for i := 0; i < c.Count; i++ {
+		from := c.At + des.Time(i)*des.Time(c.Period)
+		sys.StallWorkers(c.Node, from, from+des.Time(c.Outage))
+	}
+}
+
+// Describe summarizes the fault.
+func (c CrashLoop) Describe() string {
+	return fmt.Sprintf("crash-loop node=%s at=%v outage=%v period=%v count=%d",
+		c.Node, time.Duration(c.At), c.Outage, c.Period, c.Count)
+}
+
 // InjectAll arms every injector on the system.
 func InjectAll(sys *ntier.System, injectors []Injector) {
 	for _, in := range injectors {

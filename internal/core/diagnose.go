@@ -27,6 +27,23 @@ const (
 	CauseCPU
 	// CauseDVFS: CPU slowdown coinciding with a clock-frequency drop.
 	CauseDVFS
+	// CauseCacheStampede: a disk seizure dominated by reads — a mass
+	// buffer-pool expiry stampeding the spindle (vs the write-heavy flush).
+	CauseCacheStampede
+	// CauseNetJitter: inter-tier message lag spiking with no tier-local
+	// resource involvement.
+	CauseNetJitter
+	// CauseLockConvoy: queues grow through every tier down to the last with
+	// all resource gauges flat — serialized software contention in the DB.
+	CauseLockConvoy
+	// CauseConnPool: a contiguous front set of tiers queues while the next
+	// tier (whose evidence is present) stays calm — the boundary tier's
+	// downstream connection pool is exhausted.
+	CauseConnPool
+	// CauseCrashLoop: like CauseConnPool, but the tier behind the boundary
+	// contributes no queue evidence at all — it stopped logging (crashed),
+	// and the verdict rests on the MissingSources degraded path.
+	CauseCrashLoop
 )
 
 func (k CauseKind) String() string {
@@ -39,9 +56,37 @@ func (k CauseKind) String() string {
 		return "cpu-saturation"
 	case CauseDVFS:
 		return "dvfs-downclocking"
+	case CauseCacheStampede:
+		return "cache-stampede"
+	case CauseNetJitter:
+		return "net-jitter"
+	case CauseLockConvoy:
+		return "lock-convoy"
+	case CauseConnPool:
+		return "conn-pool-exhaustion"
+	case CauseCrashLoop:
+		return "crash-loop"
 	default:
 		return "unknown"
 	}
+}
+
+// CauseKinds lists every distinguishable root-cause class, CauseUnknown
+// excluded.
+func CauseKinds() []CauseKind {
+	return []CauseKind{CauseDiskIO, CauseDirtyPage, CauseCPU, CauseDVFS,
+		CauseCacheStampede, CauseNetJitter, CauseLockConvoy, CauseConnPool,
+		CauseCrashLoop}
+}
+
+// ParseCauseKind resolves a cause-kind name ("disk-io") to its value.
+func ParseCauseKind(s string) (CauseKind, bool) {
+	for _, k := range CauseKinds() {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return CauseUnknown, false
 }
 
 // Diagnostic thresholds shared by the batch Diagnose workflow and the
@@ -69,6 +114,25 @@ const (
 	// CorrelationMaxLag bounds the cross-correlation lag search, in
 	// windows.
 	CorrelationMaxLag = 8
+	// NetLagSpikeUS is the inter-tier lag rise (in-window peak over
+	// out-of-window mean, µs) that names network jitter. An absolute delta,
+	// not a ratio: per-node clock offsets shift each link's lag baseline.
+	NetLagSpikeUS = 1500.0
+	// StampedeReadFactor and StampedeReadFloorKB refine a disk verdict to a
+	// cache stampede: in-window disk reads must exceed the floor and
+	// dominate writes by the factor.
+	StampedeReadFactor  = 2.0
+	StampedeReadFloorKB = 256.0
+	// SaturationFloorPct is the minimum in-window peak (both disk util and
+	// CPU series are percent scales) for a correlated gauge to be blamed: a
+	// resource that never got busy cannot have caused the stall, however
+	// well its noise tracks the queue.
+	SaturationFloorPct = 50.0
+	// StrongCorrelation marks a gauge verdict unambiguous. Structural
+	// crash-loop evidence — a tier that stopped logging behind the queue
+	// growth front — overrides gauge verdicts weaker than this (e.g. the
+	// post-restart drain burst that busies the surviving tiers).
+	StrongCorrelation = 0.6
 )
 
 // WindowDiagnosis explains one VLRT window.
@@ -127,6 +191,16 @@ type Evidence struct {
 	Dirty map[string]*mscopedb.Series
 	// Freq maps tier → CPU-frequency series (refines CPU causes).
 	Freq map[string]*mscopedb.Series
+	// DiskRead and DiskWrite map tier → disk throughput series (KB/s,
+	// refine disk causes: reads dominating the episode indicate a cache
+	// stampede, not a log flush).
+	DiskRead  map[string]*mscopedb.Series
+	DiskWrite map[string]*mscopedb.Series
+	// NetLag maps receiving tier → inter-tier message-lag series (µs),
+	// joined from adjacent event tables. Kept out of Candidates: lag is
+	// not a gauge to correlate but a signature consulted when no resource
+	// explains the spike.
+	NetLag map[string]*mscopedb.Series
 }
 
 // BuildEvidence assembles the classification evidence from an ingested
@@ -135,9 +209,12 @@ type Evidence struct {
 // with zero candidates there is nothing to correlate against.
 func BuildEvidence(db *mscopedb.DB, window time.Duration) (*Evidence, []string, error) {
 	ev := &Evidence{
-		Queues: make(map[string]*mscopedb.Series, len(Tiers)),
-		Dirty:  make(map[string]*mscopedb.Series, len(Tiers)),
-		Freq:   make(map[string]*mscopedb.Series, len(Tiers)),
+		Queues:    make(map[string]*mscopedb.Series, len(Tiers)),
+		Dirty:     make(map[string]*mscopedb.Series, len(Tiers)),
+		Freq:      make(map[string]*mscopedb.Series, len(Tiers)),
+		DiskRead:  make(map[string]*mscopedb.Series, len(Tiers)),
+		DiskWrite: make(map[string]*mscopedb.Series, len(Tiers)),
+		NetLag:    make(map[string]*mscopedb.Series, len(Tiers)),
 	}
 	var missing []string
 	for _, tier := range Tiers {
@@ -178,6 +255,21 @@ func BuildEvidence(db *mscopedb.DB, window time.Duration) (*Evidence, []string, 
 		if f, err := resourceSeriesForTier(db, tier, "cpu_mhz", window, mscopedb.AggMin); err == nil {
 			ev.Freq[tier] = f
 		}
+		if r, err := resourceSeriesForTier(db, tier, "dsk_readkbtot", window, mscopedb.AggMax); err == nil {
+			ev.DiskRead[tier] = r
+		}
+		if w, err := resourceSeriesForTier(db, tier, "dsk_writekbtot", window, mscopedb.AggMax); err == nil {
+			ev.DiskWrite[tier] = w
+		}
+	}
+	for i := 0; i+1 < len(Tiers); i++ {
+		up, down := Tiers[i], Tiers[i+1]
+		if !db.HasTable(up+"_event") || !db.HasTable(down+"_event") {
+			continue
+		}
+		if lag, err := netLagSeries(db, up, down, window); err == nil && lag != nil {
+			ev.NetLag[down] = lag
+		}
 	}
 	if len(ev.Candidates) == 0 {
 		return nil, missing, fmt.Errorf("core: no resource-monitor tables in the warehouse (missing %v): diagnosis needs at least one tier's resource plane", missing)
@@ -201,13 +293,23 @@ func ClassifyWindow(ev *Evidence, w analysis.Window) WindowDiagnosis {
 
 	pad := ClassifyPad.Microseconds()
 	lo, hi := w.StartMicros-pad, w.EndMicros+pad
-	ref := analysis.SliceSeries(ev.Queues["apache"], lo, hi)
+	// The front tier's queue is the correlation reference; without it every
+	// candidate correlates 0 and only structural evidence can speak.
+	front := ev.Queues[Tiers[0]]
+	if front == nil {
+		front = &mscopedb.Series{}
+	}
+	ref := analysis.SliceSeries(front, lo, hi)
 	byName := make(map[string]ResourceCandidate, len(ev.Candidates))
 	for _, c := range ev.Candidates {
 		sliced := analysis.SliceSeries(c.Series, lo, hi)
 		corr, _ := analysis.CrossCorrelate(sliced, ref, CorrelationMaxLag)
+		// Peak over the lead-in plus the window itself: the spike lands as
+		// the stuck requests complete, typically just after the seized
+		// resource releases. The post-window tail is excluded — the drain
+		// burst busies every tier and would indict innocent gauges.
 		peak := 0.0
-		for _, v := range analysis.SliceSeries(c.Series, w.StartMicros, w.EndMicros).Values {
+		for _, v := range analysis.SliceSeries(c.Series, lo, w.EndMicros).Values {
 			if v > peak {
 				peak = v
 			}
@@ -218,23 +320,166 @@ func ClassifyWindow(ev *Evidence, w analysis.Window) WindowDiagnosis {
 		byName[c.Name] = c
 	}
 	sortCauses(wd.Causes)
-	if len(wd.Causes) > 0 && wd.Causes[0].Correlation > CorrelationFloor {
-		top := byName[wd.Causes[0].Name]
-		wd.Kind, wd.Node = top.Kind, top.Tier
+	// The build-up slice shows the queue structure while requests were
+	// stuck, before their completions land the PIT spike: a software stall
+	// (lock convoy, exhausted pool, crash) has its signature there, not in
+	// the spike window where the drain burst floods every tier at once.
+	buildWin := analysis.Window{StartMicros: w.StartMicros - pad, EndMicros: w.StartMicros}
+	buildPB := analysis.DetectPushback(ev.Queues, Tiers, buildWin, PushbackGrowth)
+	sKind, sNode := structuralVerdict(ev, buildPB)
+	if sKind == CauseUnknown {
+		// A spike window early in the stall has a mostly-healthy build-up
+		// slice; the lead-in pushback still shows the structure.
+		buildPB = wd.Pushback
+		sKind, sNode = structuralVerdict(ev, buildPB)
+	}
+	var top *analysis.Cause
+	for i := range wd.Causes {
+		c := &wd.Causes[i]
+		if c.Correlation > CorrelationFloor && c.PeakInWindow >= SaturationFloorPct {
+			top = c
+			break
+		}
+	}
+	netTier, netRise := netLagSpiked(ev, lo, hi)
+	// A tier that stopped logging behind the growth front outranks weakly
+	// correlated gauges: the post-crash drain busies real resources on the
+	// surviving tiers, but the silent tier is the story. A spiking wire
+	// still wins — the lag rise is direct evidence, the silence is
+	// circumstantial.
+	if sKind == CauseCrashLoop && netTier == "" &&
+		(top == nil || top.Correlation < StrongCorrelation) {
+		wd.Kind, wd.Node = sKind, sNode
+		wd.Verdict = fmt.Sprintf("%s at %s (structural: queues grew at %v, no evidence from %s)",
+			wd.Kind, wd.Node, buildPB.Grew, sNode)
+		return wd
+	}
+	if top != nil {
+		c := byName[top.Name]
+		wd.Kind, wd.Node = c.Kind, c.Tier
 		// Refine CPU causes with the corroborating sensors.
 		if wd.Kind == CauseCPU {
-			if f, ok := ev.Freq[top.Tier]; ok && freqDropped(f, lo, hi) {
+			if f, ok := ev.Freq[c.Tier]; ok && freqDropped(f, lo, hi) {
 				wd.Kind = CauseDVFS
-			} else if d, ok := ev.Dirty[top.Tier]; ok && dirtyCollapsed(d, lo, hi) {
+			} else if d, ok := ev.Dirty[c.Tier]; ok && dirtyCollapsed(d, lo, hi) {
 				wd.Kind = CauseDirtyPage
 			}
 		}
+		// Refine disk causes: a read-dominated seizure is a stampede, not
+		// a log flush.
+		if wd.Kind == CauseDiskIO && readsDominate(ev, c.Tier, w) {
+			wd.Kind = CauseCacheStampede
+		}
 		wd.Verdict = fmt.Sprintf("%s at %s (r=%.2f, peak %.1f)",
-			wd.Kind, wd.Node, wd.Causes[0].Correlation, wd.Causes[0].PeakInWindow)
-	} else {
-		wd.Verdict = "no resource correlates with the queue spike"
+			wd.Kind, wd.Node, top.Correlation, top.PeakInWindow)
+		return wd
 	}
+	// No resource gauge explains the spike. Check the wire: an inter-tier
+	// lag rise names network jitter on that link.
+	if netTier != "" {
+		wd.Kind, wd.Node = CauseNetJitter, netTier
+		wd.Verdict = fmt.Sprintf("%s at %s (lag rise %.0fµs)", wd.Kind, wd.Node, netRise)
+		return wd
+	}
+	// Still unexplained: fall back to the queue structure — which tiers
+	// grew during the build-up, and what the tier behind the growth front
+	// looks like.
+	if sKind != CauseUnknown {
+		wd.Kind, wd.Node = sKind, sNode
+		wd.Verdict = fmt.Sprintf("%s at %s (structural: queues grew at %v)",
+			wd.Kind, wd.Node, buildPB.Grew)
+		return wd
+	}
+	wd.Verdict = "no resource correlates with the queue spike"
 	return wd
+}
+
+// readsDominate reports whether in-window disk reads on the tier exceed
+// the stampede floor and dominate writes by the stampede factor.
+func readsDominate(ev *Evidence, tier string, w analysis.Window) bool {
+	rd, ok := ev.DiskRead[tier]
+	if !ok {
+		return false
+	}
+	readPeak := 0.0
+	for _, v := range analysis.SliceSeries(rd, w.StartMicros, w.EndMicros).Values {
+		if v > readPeak {
+			readPeak = v
+		}
+	}
+	if readPeak <= StampedeReadFloorKB {
+		return false
+	}
+	writePeak := 0.0
+	if wr, ok := ev.DiskWrite[tier]; ok {
+		for _, v := range analysis.SliceSeries(wr, w.StartMicros, w.EndMicros).Values {
+			if v > writePeak {
+				writePeak = v
+			}
+		}
+	}
+	return readPeak > StampedeReadFactor*writePeak
+}
+
+// netLagSpiked scans every instrumented link for an in-window lag rise
+// above NetLagSpikeUS over the link's out-of-window baseline, returning
+// the receiving tier of the worst offender.
+func netLagSpiked(ev *Evidence, lo, hi int64) (string, float64) {
+	bestTier, bestRise := "", 0.0
+	for _, tier := range Tiers {
+		lag, ok := ev.NetLag[tier]
+		if !ok {
+			continue
+		}
+		peak := 0.0
+		for _, v := range analysis.SliceSeries(lag, lo, hi).Values {
+			if v > peak {
+				peak = v
+			}
+		}
+		baseSum, baseN := 0.0, 0
+		for i, ts := range lag.StartMicros {
+			if ts < lo || ts > hi {
+				baseSum += lag.Values[i]
+				baseN++
+			}
+		}
+		if baseN == 0 {
+			continue
+		}
+		if rise := peak - baseSum/float64(baseN); rise > NetLagSpikeUS && rise > bestRise {
+			bestTier, bestRise = tier, rise
+		}
+	}
+	return bestTier, bestRise
+}
+
+// structuralVerdict names software bottlenecks no gauge can see from the
+// shape of the queue growth: a contiguous front prefix of tiers grew while
+// everything behind stayed calm. Growth reaching the last tier is a lock
+// convoy there; a calm-but-present tier behind the front is the boundary
+// tier's exhausted connection pool; a tier with no queue evidence at all
+// behind the front stopped logging — a crash loop.
+func structuralVerdict(ev *Evidence, pb analysis.PushbackResult) (CauseKind, string) {
+	grew := make(map[string]bool, len(pb.Grew))
+	for _, t := range pb.Grew {
+		grew[t] = true
+	}
+	if !grew[Tiers[0]] {
+		return CauseUnknown, ""
+	}
+	deepest := 0
+	for deepest+1 < len(Tiers) && grew[Tiers[deepest+1]] {
+		deepest++
+	}
+	if deepest == len(Tiers)-1 {
+		return CauseLockConvoy, Tiers[deepest]
+	}
+	next := Tiers[deepest+1]
+	if _, ok := ev.Queues[next]; !ok {
+		return CauseCrashLoop, next
+	}
+	return CauseConnPool, Tiers[deepest]
 }
 
 // Diagnose runs the paper's workflow over an ingested trial: find VLRT

@@ -1,0 +1,168 @@
+package ntier
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/des"
+)
+
+// This file holds the fault surfaces the bottleneck injectors arm on a
+// System before a run: connection-pool seizure, a DB lock convoy, a
+// cache-expiry window, inter-tier network jitter, and whole-tier worker
+// stalls (crash episodes). Each surface is consulted on the relevant hot
+// path (transmit, dbVisit, the conn pools) and is inert unless armed, so a
+// fault-free run behaves exactly as before these hooks existed. All
+// randomness the armed faults consume flows from the run's srcFault
+// stream, which derives from Config.Seed — same seed, same episode.
+
+// linkJitter adds extra latency to one inter-tier link during [from, to).
+type linkJitter struct {
+	src, dst string
+	from, to des.Time
+	extra    time.Duration
+}
+
+// convoyWindow serializes DB queries behind one lock during [from, to);
+// each owner holds the lock ~hold.
+type convoyWindow struct {
+	from, to des.Time
+	hold     time.Duration
+}
+
+// missWindow overrides the buffer-pool miss model during [from, to) — the
+// cache-stampede surface (every query misses and reads a large block).
+type missWindow struct {
+	from, to des.Time
+	missProb float64
+	readKB   int
+}
+
+func (sys *System) checkWindow(what string, from, to des.Time) {
+	if from < 0 || to <= from {
+		panic(fmt.Sprintf("ntier: %s window [%v, %v)", what,
+			time.Duration(from), time.Duration(to)))
+	}
+}
+
+// SeizeConns acquires n connections of the named tier's downstream pool at
+// from and returns them at to — leaked or stuck connections. Requests
+// needing a connection queue FIFO behind the seizure while still holding
+// their worker thread, so the stall amplifies into upstream queue growth.
+func (sys *System) SeizeConns(tier string, n int, from, to des.Time) {
+	srv := sys.ServerByName(tier)
+	if srv == nil {
+		panic(fmt.Sprintf("ntier: unknown tier %q", tier))
+	}
+	pool := srv.conns
+	if pool == nil {
+		panic(fmt.Sprintf("ntier: tier %q has no downstream connection pool", tier))
+	}
+	if n <= 0 || n > pool.limit {
+		panic(fmt.Sprintf("ntier: seize %d of %d connections", n, pool.limit))
+	}
+	sys.checkWindow("conn seizure", from, to)
+	sys.Eng.At(from, func() {
+		var held []string
+		released := false
+		for i := 0; i < n; i++ {
+			pool.Acquire(func(c string) {
+				if released {
+					// Granted after the episode ended: give it straight back.
+					pool.Put(c)
+					return
+				}
+				held = append(held, c)
+			})
+		}
+		sys.Eng.At(to, func() {
+			released = true
+			for _, c := range held {
+				pool.Put(c)
+			}
+			held = nil
+		})
+	})
+}
+
+// ArmLockConvoy serializes every DB query issued during [from, to) behind
+// a single lock, each owner holding it ~hold (jittered from the fault
+// stream). Arrivals outrun the serial drain, so the DB tier's queue
+// balloons and pushes back through every upstream tier while no resource
+// gauge saturates — the software-contention signature.
+func (sys *System) ArmLockConvoy(from, to des.Time, hold time.Duration) {
+	sys.checkWindow("lock convoy", from, to)
+	if hold <= 0 {
+		panic(fmt.Sprintf("ntier: non-positive convoy hold %v", hold))
+	}
+	if sys.convoy != nil {
+		panic("ntier: lock convoy already armed")
+	}
+	sys.convoy = &convoyWindow{from: from, to: to, hold: hold}
+}
+
+// ArmCacheExpiry overrides the DB buffer-pool miss model during [from,
+// to): a mass cache expiry after which queries miss with missProb and each
+// miss reads readKB from the database disk — the stampede that seizes the
+// disk with reads (where a redo-log flush seizes it with writes).
+func (sys *System) ArmCacheExpiry(from, to des.Time, missProb float64, readKB int) {
+	sys.checkWindow("cache expiry", from, to)
+	if missProb <= 0 || missProb > 1 {
+		panic(fmt.Sprintf("ntier: cache-expiry miss probability %v", missProb))
+	}
+	if readKB <= 0 {
+		panic(fmt.Sprintf("ntier: cache-expiry read size %dKB", readKB))
+	}
+	if sys.expiry != nil {
+		panic("ntier: cache expiry already armed")
+	}
+	sys.expiry = &missWindow{from: from, to: to, missProb: missProb, readKB: readKB}
+}
+
+// ArmNetJitter adds ~extra one-way latency (jittered from the fault
+// stream) to every message on the (src, dst) link — both directions —
+// during [from, to).
+func (sys *System) ArmNetJitter(src, dst string, from, to des.Time, extra time.Duration) {
+	for _, name := range []string{src, dst} {
+		if name != "client" && sys.ServerByName(name) == nil {
+			panic(fmt.Sprintf("ntier: unknown node %q", name))
+		}
+	}
+	sys.checkWindow("net jitter", from, to)
+	if extra <= 0 {
+		panic(fmt.Sprintf("ntier: non-positive jitter %v", extra))
+	}
+	sys.jitters = append(sys.jitters, linkJitter{src: src, dst: dst, from: from, to: to, extra: extra})
+}
+
+// StallWorkers seizes every worker slot of the named tier during [from,
+// to) — one crash/restart episode. In-service requests finish and then the
+// tier accepts nothing: arrivals mark UA and queue, upstream workers block
+// on their in-flight calls, and at to the backlog drains FIFO.
+func (sys *System) StallWorkers(tier string, from, to des.Time) {
+	srv := sys.ServerByName(tier)
+	if srv == nil {
+		panic(fmt.Sprintf("ntier: unknown tier %q", tier))
+	}
+	sys.checkWindow("worker stall", from, to)
+	pool := srv.pool
+	sys.Eng.At(from, func() {
+		granted := 0
+		var tokens []*des.WaitToken
+		for i := 0; i < srv.spec.Workers; i++ {
+			if tok := pool.Acquire(func() { granted++ }); tok != nil {
+				tokens = append(tokens, tok)
+			}
+		}
+		sys.Eng.At(to, func() {
+			// Slots still queued for are abandoned; slots actually held
+			// are released, granting blocked requests FIFO.
+			for _, tok := range tokens {
+				tok.Cancel()
+			}
+			for i := 0; i < granted; i++ {
+				pool.Release()
+			}
+		})
+	})
+}

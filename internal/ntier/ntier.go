@@ -145,11 +145,16 @@ type MessageObserver interface {
 // connPool hands out persistent-connection identifiers for calls between a
 // fixed (src, dst) tier pair. A connection carries one outstanding request
 // at a time (workers block synchronously), matching ModJK / JDBC pools.
+// When every connection is in use, acquirers queue FIFO — a worker blocked
+// here holds its tier's thread, which is exactly how pool exhaustion
+// amplifies into cross-tier queue growth.
 type connPool struct {
-	prefix string
-	free   []string
-	made   int
-	limit  int
+	prefix  string
+	free    []string
+	made    int
+	limit   int
+	waiters []func(string)
+	waits   uint64
 }
 
 func newConnPool(prefix string, limit int) *connPool {
@@ -159,21 +164,40 @@ func newConnPool(prefix string, limit int) *connPool {
 	return &connPool{prefix: prefix, limit: limit}
 }
 
-// Get returns a free connection id, growing the pool up to its limit.
-// Exceeding the limit panics: the caller sizes pools to worker counts, so
-// exhaustion indicates a flow-control bug, not a runtime condition.
-func (p *connPool) Get() string {
+// Acquire hands fn a connection id, growing the pool up to its limit. With
+// the pool exhausted, fn queues FIFO and runs when a connection is Put
+// back. Pools are sized to worker counts, so a healthy run never queues;
+// only the conn-pool-seize injector creates the blocked state.
+func (p *connPool) Acquire(fn func(conn string)) {
 	if n := len(p.free); n > 0 {
 		c := p.free[n-1]
 		p.free = p.free[:n-1]
-		return c
+		fn(c)
+		return
 	}
-	if p.made >= p.limit {
-		panic(fmt.Sprintf("ntier: connection pool %q exhausted (%d)", p.prefix, p.limit))
+	if p.made < p.limit {
+		p.made++
+		fn(fmt.Sprintf("%s#%03d", p.prefix, p.made))
+		return
 	}
-	p.made++
-	return fmt.Sprintf("%s#%03d", p.prefix, p.made)
+	p.waits++
+	p.waiters = append(p.waiters, fn)
 }
 
-// Put returns a connection id to the pool.
-func (p *connPool) Put(c string) { p.free = append(p.free, c) }
+// Put returns a connection id to the pool, handing it to the head waiter
+// if any caller is blocked.
+func (p *connPool) Put(c string) {
+	if len(p.waiters) > 0 {
+		fn := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		fn(c)
+		return
+	}
+	p.free = append(p.free, c)
+}
+
+// Waiting returns the number of callers blocked on an exhausted pool.
+func (p *connPool) Waiting() int { return len(p.waiters) }
+
+// Waits returns the cumulative count of acquisitions that had to block.
+func (p *connPool) Waits() uint64 { return p.waits }

@@ -272,27 +272,46 @@ func TestRequestIDFixedWidth(t *testing.T) {
 
 func TestConnPoolReuse(t *testing.T) {
 	p := newConnPool("web", 3)
-	a := p.Get()
-	b := p.Get()
+	var a, b, c string
+	p.Acquire(func(conn string) { a = conn })
+	p.Acquire(func(conn string) { b = conn })
 	if a == b {
 		t.Fatal("pool handed out duplicate connection")
 	}
 	p.Put(a)
-	c := p.Get()
+	p.Acquire(func(conn string) { c = conn })
 	if c != a {
 		t.Fatalf("pool did not reuse freed conn: got %q want %q", c, a)
 	}
+	if p.Waits() != 0 {
+		t.Fatalf("un-exhausted pool recorded %d waits", p.Waits())
+	}
 }
 
-func TestConnPoolExhaustionPanics(t *testing.T) {
+func TestConnPoolExhaustionQueuesFIFO(t *testing.T) {
 	p := newConnPool("x", 1)
-	p.Get()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("exhausted pool did not panic")
-		}
-	}()
-	p.Get()
+	var held string
+	p.Acquire(func(conn string) { held = conn })
+	var got []string
+	p.Acquire(func(conn string) { got = append(got, "first:"+conn) })
+	p.Acquire(func(conn string) { got = append(got, "second:"+conn) })
+	if len(got) != 0 {
+		t.Fatalf("exhausted pool granted immediately: %v", got)
+	}
+	if p.Waiting() != 2 || p.Waits() != 2 {
+		t.Fatalf("Waiting=%d Waits=%d, want 2/2", p.Waiting(), p.Waits())
+	}
+	p.Put(held)
+	if len(got) != 1 || got[0] != "first:"+held {
+		t.Fatalf("head waiter not granted FIFO: %v", got)
+	}
+	p.Put(held)
+	if len(got) != 2 || got[1] != "second:"+held {
+		t.Fatalf("second waiter not granted FIFO: %v", got)
+	}
+	if p.Waiting() != 0 {
+		t.Fatalf("%d waiters left after drain", p.Waiting())
+	}
 }
 
 func TestLocalTime(t *testing.T) {

@@ -118,6 +118,19 @@ type System struct {
 	srcService *dist.Source
 	srcNet     *dist.Source
 	srcDB      *dist.Source
+	// srcFault feeds injector randomness (convoy hold times, jitter
+	// spread). A dedicated stream derived from cfg.Seed keeps injected
+	// scenarios deterministic per seed without perturbing the service,
+	// network or DB draws of a fault-free run.
+	srcFault *dist.Source
+
+	// dbLock serializes queries through one row/table lock while a lock
+	// convoy is armed (capacity 1; idle otherwise).
+	dbLock *des.Resource
+	// Armed fault windows, consulted on the hot paths below.
+	jitters []linkJitter
+	convoy  *convoyWindow
+	expiry  *missWindow
 
 	nextSerial uint64
 
@@ -148,7 +161,9 @@ func New(cfg Config) *System {
 		srcService: root.Derive("service"),
 		srcNet:     root.Derive("net"),
 		srcDB:      root.Derive("db"),
+		srcFault:   root.Derive("fault"),
 	}
+	sys.dbLock = des.NewResource(eng, "mysql/lock", 1)
 	sys.Web = NewServer(eng, TierWeb, cfg.Web)
 	sys.App = NewServer(eng, TierApp, cfg.App)
 	sys.Mid = NewServer(eng, TierMiddleware, cfg.Mid)
@@ -219,6 +234,7 @@ func (sys *System) transmit(src, dst *resources.Node, conn string, kind MsgKind,
 	sent := sys.Eng.Now()
 	src.NetSend(bytes)
 	lat := sys.srcNet.Jitter(sys.cfg.NetLatency, 0.4)
+	lat += sys.jitterExtra(src.Name(), dst.Name())
 	sys.Eng.After(lat, func() {
 		dst.NetRecv(bytes)
 		if sys.capture != nil {
@@ -264,26 +280,30 @@ func (sys *System) webVisit(req *Request, upConn string, done func()) {
 	s.arrive()
 	s.pool.Acquire(func() {
 		s.node.CPU.Exec(sys.demand(it.ApacheCPU*7/10), resources.ModeUser, func() {
-			v.DS = sys.Eng.Now()
-			conn := s.conns.Get()
-			sys.transmit(s.node, sys.App.node, conn, MsgRequest,
-				sys.wireBytes(600, 250), req, func() {
-					sys.appVisit(req, conn, func() {
-						v.DR = sys.Eng.Now()
-						s.conns.Put(conn)
-						// Rendering the response writes the access-log record;
-						// dirty-page throttling blocks here during recycling.
-						s.node.Mem.ThrottleWrite(func() {
-							s.node.CPU.Exec(sys.demand(it.ApacheCPU*3/10), resources.ModeUser, func() {
-								v.UD = sys.Eng.Now()
-								sys.finishVisit(s, v)
-								s.pool.Release()
-								sys.transmit(s.node, sys.client, upConn, MsgResponse,
-									it.RespKB*1024, req, done)
+			s.conns.Acquire(func(conn string) {
+				// DS is stamped once a connection is held: time spent
+				// blocked on an exhausted pool is tier-local residence,
+				// not network transit.
+				v.DS = sys.Eng.Now()
+				sys.transmit(s.node, sys.App.node, conn, MsgRequest,
+					sys.wireBytes(600, 250), req, func() {
+						sys.appVisit(req, conn, func() {
+							v.DR = sys.Eng.Now()
+							s.conns.Put(conn)
+							// Rendering the response writes the access-log record;
+							// dirty-page throttling blocks here during recycling.
+							s.node.Mem.ThrottleWrite(func() {
+								s.node.CPU.Exec(sys.demand(it.ApacheCPU*3/10), resources.ModeUser, func() {
+									v.UD = sys.Eng.Now()
+									sys.finishVisit(s, v)
+									s.pool.Release()
+									sys.transmit(s.node, sys.client, upConn, MsgResponse,
+										it.RespKB*1024, req, done)
+								})
 							})
 						})
 					})
-				})
+			})
 		})
 	})
 }
@@ -314,29 +334,30 @@ func (sys *System) appVisit(req *Request, upConn string, onResp func()) {
 				finish()
 				return
 			}
-			conn := s.conns.Get()
-			interCPU := time.Duration(float64(it.TomcatCPU) * 0.3 / float64(it.Queries))
-			qi := 0
-			var next func()
-			next = func() {
-				if qi == 0 {
-					v.DS = sys.Eng.Now()
-				}
-				sys.transmit(s.node, sys.Mid.node, conn, MsgRequest,
-					sys.wireBytes(320, 120), req, func() {
-						sys.midVisit(req, qi, conn, func() {
-							v.DR = sys.Eng.Now()
-							qi++
-							if qi < it.Queries {
-								s.node.CPU.Exec(sys.demand(interCPU), resources.ModeUser, next)
-								return
-							}
-							s.conns.Put(conn)
-							finish()
+			s.conns.Acquire(func(conn string) {
+				interCPU := time.Duration(float64(it.TomcatCPU) * 0.3 / float64(it.Queries))
+				qi := 0
+				var next func()
+				next = func() {
+					if qi == 0 {
+						v.DS = sys.Eng.Now()
+					}
+					sys.transmit(s.node, sys.Mid.node, conn, MsgRequest,
+						sys.wireBytes(320, 120), req, func() {
+							sys.midVisit(req, qi, conn, func() {
+								v.DR = sys.Eng.Now()
+								qi++
+								if qi < it.Queries {
+									s.node.CPU.Exec(sys.demand(interCPU), resources.ModeUser, next)
+									return
+								}
+								s.conns.Put(conn)
+								finish()
+							})
 						})
-					})
-			}
-			next()
+				}
+				next()
+			})
 		})
 	})
 }
@@ -349,22 +370,23 @@ func (sys *System) midVisit(req *Request, qi int, upConn string, onResp func()) 
 	s.arrive()
 	s.pool.Acquire(func() {
 		s.node.CPU.Exec(sys.demand(it.CJDBCCPU*7/10), resources.ModeUser, func() {
-			v.DS = sys.Eng.Now()
-			conn := s.conns.Get()
-			sys.transmit(s.node, sys.DB.node, conn, MsgRequest,
-				sys.wireBytes(300, 100), req, func() {
-					sys.dbVisit(req, qi, conn, func() {
-						v.DR = sys.Eng.Now()
-						s.conns.Put(conn)
-						s.node.CPU.Exec(sys.demand(it.CJDBCCPU*3/10), resources.ModeUser, func() {
-							v.UD = sys.Eng.Now()
-							sys.finishVisit(s, v)
-							s.pool.Release()
-							sys.transmit(s.node, sys.App.node, upConn, MsgResponse,
-								queryRespBytes(it), req, onResp)
+			s.conns.Acquire(func(conn string) {
+				v.DS = sys.Eng.Now()
+				sys.transmit(s.node, sys.DB.node, conn, MsgRequest,
+					sys.wireBytes(300, 100), req, func() {
+						sys.dbVisit(req, qi, conn, func() {
+							v.DR = sys.Eng.Now()
+							s.conns.Put(conn)
+							s.node.CPU.Exec(sys.demand(it.CJDBCCPU*3/10), resources.ModeUser, func() {
+								v.UD = sys.Eng.Now()
+								sys.finishVisit(s, v)
+								s.pool.Release()
+								sys.transmit(s.node, sys.App.node, upConn, MsgResponse,
+									queryRespBytes(it), req, onResp)
+							})
 						})
 					})
-				})
+			})
 		})
 	})
 }
@@ -378,28 +400,86 @@ func (sys *System) dbVisit(req *Request, qi int, upConn string, onResp func()) {
 	v := &Visit{Req: req, Server: s, Seq: qi, UA: sys.Eng.Now(), SQL: it.SQL}
 	s.arrive()
 	s.pool.Acquire(func() {
-		s.node.CPU.Exec(sys.demand(it.QueryCPU), resources.ModeUser, func() {
-			finish := func() {
-				v.UD = sys.Eng.Now()
-				sys.finishVisit(s, v)
-				s.pool.Release()
-				sys.transmit(s.node, sys.Mid.node, upConn, MsgResponse,
-					queryRespBytes(it), req, onResp)
-			}
-			commit := func() {
-				if it.Write && qi == it.Queries-1 {
-					sys.commit.Enqueue(it.CommitKB, finish)
+		run := func() {
+			s.node.CPU.Exec(sys.demand(it.QueryCPU), resources.ModeUser, func() {
+				finish := func() {
+					v.UD = sys.Eng.Now()
+					sys.finishVisit(s, v)
+					s.pool.Release()
+					sys.transmit(s.node, sys.Mid.node, upConn, MsgResponse,
+						queryRespBytes(it), req, onResp)
+				}
+				commit := func() {
+					if it.Write && qi == it.Queries-1 {
+						sys.commit.Enqueue(it.CommitKB, finish)
+						return
+					}
+					finish()
+				}
+				missProb, readKB := sys.missModel()
+				if missProb > 0 && sys.srcDB.Float64() < missProb {
+					s.node.Disk.Read(readKB*1024, commit)
 					return
 				}
-				finish()
-			}
-			if sys.cfg.DBMissProb > 0 && sys.srcDB.Float64() < sys.cfg.DBMissProb {
-				s.node.Disk.Read(sys.cfg.DBMissReadKB*1024, commit)
-				return
-			}
-			commit()
-		})
+				commit()
+			})
+		}
+		// An armed lock convoy serializes queries through one lock; the
+		// hold is pure blocking (the owner waits on I/O inside the
+		// critical section), so no resource gauge moves while the DB
+		// tier's queue balloons.
+		if hold := sys.convoyHold(); hold > 0 {
+			sys.dbLock.Acquire(func() {
+				sys.Eng.After(hold, func() {
+					sys.dbLock.Release()
+					run()
+				})
+			})
+			return
+		}
+		run()
 	})
+}
+
+// missModel returns the effective buffer-pool miss probability and read
+// size, honouring an armed cache-expiry window.
+func (sys *System) missModel() (float64, int) {
+	if e := sys.expiry; e != nil {
+		if now := sys.Eng.Now(); now >= e.from && now < e.to {
+			return e.missProb, e.readKB
+		}
+	}
+	return sys.cfg.DBMissProb, sys.cfg.DBMissReadKB
+}
+
+// convoyHold samples the lock-hold time if a convoy window is active, else 0.
+func (sys *System) convoyHold() time.Duration {
+	c := sys.convoy
+	if c == nil {
+		return 0
+	}
+	if now := sys.Eng.Now(); now < c.from || now >= c.to {
+		return 0
+	}
+	return sys.srcFault.Jitter(c.hold, 0.4)
+}
+
+// jitterExtra returns the extra one-way latency armed for the (src, dst)
+// link at the current instant. Jitter windows apply to both directions of
+// their link.
+func (sys *System) jitterExtra(src, dst string) time.Duration {
+	if len(sys.jitters) == 0 {
+		return 0
+	}
+	now := sys.Eng.Now()
+	var total time.Duration
+	for _, j := range sys.jitters {
+		onLink := (j.src == src && j.dst == dst) || (j.src == dst && j.dst == src)
+		if onLink && now >= j.from && now < j.to {
+			total += sys.srcFault.Jitter(j.extra, 0.5)
+		}
+	}
+	return total
 }
 
 func queryRespBytes(it rubbos.Interaction) int {

@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"fmt"
+
+	"github.com/gt-elba/milliscope/internal/bottleneck"
+	"github.com/gt-elba/milliscope/internal/core"
+	"github.com/gt-elba/milliscope/internal/des"
+	"github.com/gt-elba/milliscope/internal/ntier"
+	"github.com/gt-elba/milliscope/internal/resmon"
+	"github.com/gt-elba/milliscope/internal/rubbos"
+)
+
+// Build turns a validated spec into a runnable experiment configuration
+// writing its monitor logs under logDir. Every random stream — workload,
+// network, DB and injector draws — derives from Spec.Seed.
+func Build(s *Spec, logDir string) (core.ExperimentConfig, error) {
+	if err := s.Validate(); err != nil {
+		return core.ExperimentConfig{}, err
+	}
+	cfg := ntier.DefaultConfig()
+	cfg.Users = s.Users
+	cfg.Duration = s.Duration.D()
+	cfg.Seed = s.Seed
+	if s.Think > 0 {
+		cfg.ThinkTime = s.Think.D()
+	}
+	if s.Mix == "browse" {
+		cfg.Mix = rubbos.BrowseOnly
+	} else {
+		cfg.Mix = rubbos.ReadWrite
+	}
+	for node, tune := range s.MemTuning {
+		spec, err := tierSpec(&cfg, node)
+		if err != nil {
+			return core.ExperimentConfig{}, err
+		}
+		spec.Node.Memory.HighWaterKB = tune.HighWaterKB
+		spec.Node.Memory.LowWaterKB = tune.LowWaterKB
+		spec.Node.Memory.DrainKBps = tune.DrainKBps
+		spec.Node.Memory.FlushWorkers = tune.FlushWorkers
+		if spec.Node.Memory.FlushWorkers == 0 {
+			spec.Node.Memory.FlushWorkers = spec.Node.Cores
+		}
+		if tune.FlushSlice > 0 {
+			spec.Node.Memory.FlushSlice = tune.FlushSlice.D()
+		}
+	}
+	injectors := make([]bottleneck.Injector, 0, len(s.Injectors))
+	for i := range s.Injectors {
+		injectors = append(injectors, buildInjector(&s.Injectors[i]))
+	}
+	rm := resmon.DefaultConfig()
+	return core.ExperimentConfig{
+		Name:          s.Name,
+		Ntier:         cfg,
+		EventMonitors: true,
+		Resmon:        &rm,
+		Injectors:     injectors,
+		LogDir:        logDir,
+	}, nil
+}
+
+// tierSpec maps a node name to its tier spec within the config.
+func tierSpec(cfg *ntier.Config, node string) (*ntier.TierSpec, error) {
+	for _, spec := range []*ntier.TierSpec{&cfg.Web, &cfg.App, &cfg.Mid, &cfg.DB} {
+		if spec.Node.Name == node {
+			return spec, nil
+		}
+	}
+	return nil, fmt.Errorf("scenario: no tier named %q", node)
+}
+
+// buildInjector converts one validated injector spec. Specs that fail
+// Validate never reach here, so the constructors' own panics are dead.
+func buildInjector(in *InjectorSpec) bottleneck.Injector {
+	at := des.Time(in.At)
+	dur := in.Duration.D()
+	switch in.Kind {
+	case "db-log-flush":
+		return bottleneck.DBLogFlush{At: at, Duration: dur}
+	case "dirty-page-surge":
+		return bottleneck.DirtyPageSurge{Node: in.Node, At: at, BurstKB: in.BurstKB}
+	case "jvm-gc":
+		return bottleneck.JVMGC{Node: in.Node, At: at, Pause: in.Pause.D()}
+	case "dvfs":
+		return bottleneck.DVFS{Node: in.Node, At: at, Duration: dur, Speed: in.Speed}
+	case "conn-pool-seize":
+		return bottleneck.ConnPoolSeize{Tier: in.Tier, At: at, Duration: dur, Held: in.Held}
+	case "lock-convoy":
+		return bottleneck.LockConvoy{At: at, Duration: dur, Hold: in.Hold.D()}
+	case "cache-stampede":
+		return bottleneck.CacheStampede{At: at, Duration: dur,
+			MissProb: in.MissProb, ReadKB: in.ReadKB}
+	case "net-jitter":
+		return bottleneck.NetJitter{Src: in.Src, Dst: in.Dst, At: at, Duration: dur,
+			Extra: in.Extra.D()}
+	case "crash-loop":
+		return bottleneck.CrashLoop{Node: in.Node, At: at, Outage: in.Outage.D(),
+			Period: in.Period.D(), Count: in.Count}
+	default:
+		panic(fmt.Sprintf("scenario: unvalidated injector kind %q", in.Kind))
+	}
+}
+
+// expectWindow returns the absolute warehouse-time bounds a diagnosed
+// window must overlap to satisfy the verdict.
+func (e *Verdict) expectWindow(epochUS int64) (lo, hi int64) {
+	lo = epochUS + (e.From - e.Tol).D().Microseconds()
+	hi = epochUS + (e.To + e.Tol).D().Microseconds()
+	return lo, hi
+}

@@ -44,6 +44,7 @@ import (
 	"github.com/gt-elba/milliscope/internal/ntier"
 	"github.com/gt-elba/milliscope/internal/parsers"
 	"github.com/gt-elba/milliscope/internal/report"
+	"github.com/gt-elba/milliscope/internal/scenario"
 	"github.com/gt-elba/milliscope/internal/selfobs"
 	"github.com/gt-elba/milliscope/internal/stream"
 	"github.com/gt-elba/milliscope/internal/tracegraph"
@@ -273,12 +274,20 @@ type (
 
 // Root-cause classes.
 const (
-	CauseUnknown   = core.CauseUnknown
-	CauseDiskIO    = core.CauseDiskIO
-	CauseDirtyPage = core.CauseDirtyPage
-	CauseCPU       = core.CauseCPU
-	CauseDVFS      = core.CauseDVFS
+	CauseUnknown       = core.CauseUnknown
+	CauseDiskIO        = core.CauseDiskIO
+	CauseDirtyPage     = core.CauseDirtyPage
+	CauseCPU           = core.CauseCPU
+	CauseDVFS          = core.CauseDVFS
+	CauseCacheStampede = core.CauseCacheStampede
+	CauseNetJitter     = core.CauseNetJitter
+	CauseLockConvoy    = core.CauseLockConvoy
+	CauseConnPool      = core.CauseConnPool
+	CauseCrashLoop     = core.CauseCrashLoop
 )
+
+// ParseCauseKind resolves a cause-kind name ("disk-io") to its value.
+func ParseCauseKind(s string) (CauseKind, bool) { return core.ParseCauseKind(s) }
 
 // Diagnose runs the full milliScope workflow over an ingested trial: VLRT
 // window detection, pushback classification, and root-cause ranking with
@@ -301,6 +310,54 @@ func ScenarioJVMGC(logDir string) ExperimentConfig { return core.ScenarioJVMGC(l
 
 // ScenarioDVFS configures a CPU-downclock bottleneck trial.
 func ScenarioDVFS(logDir string) ExperimentConfig { return core.ScenarioDVFS(logDir) }
+
+// Declarative fault-scenario registry (internal/scenario): every catalogue
+// entry binds an injector configuration and workload mix to the verdict
+// the diagnosis must reach, making the fault taxonomy an executable test
+// suite (`mscope scenario {list,run,verify}`).
+type (
+	// Scenario is one declarative catalogue entry.
+	Scenario = scenario.Spec
+	// ScenarioVerdict is the diagnosis a scenario trial must produce.
+	ScenarioVerdict = scenario.Verdict
+	// ScenarioOptions tunes scenario execution and verification.
+	ScenarioOptions = scenario.Options
+	// ScenarioOutcome reports one scenario verification.
+	ScenarioOutcome = scenario.Outcome
+)
+
+// Scenarios returns the registered catalogue in listing order.
+func Scenarios() []Scenario { return scenario.Scenarios() }
+
+// ScenarioByName finds one catalogue entry.
+func ScenarioByName(name string) (*Scenario, bool) { return scenario.ByName(name) }
+
+// DecodeScenario parses and validates a declarative scenario spec.
+func DecodeScenario(data []byte) (*Scenario, error) { return scenario.Decode(data) }
+
+// BuildScenario turns a scenario spec into a runnable experiment writing
+// its monitor logs under logDir.
+func BuildScenario(s *Scenario, logDir string) (ExperimentConfig, error) {
+	return scenario.Build(s, logDir)
+}
+
+// RunScenario executes a scenario's trial and batch workflow (simulate,
+// corrupt, ingest, diagnose), returning the diagnosis and the directory
+// holding the logs it consumed.
+func RunScenario(s *Scenario, opts ScenarioOptions) (*Diagnosis, string, error) {
+	return scenario.Run(s, opts)
+}
+
+// VerifyScenario runs a scenario end to end and checks the diagnosis —
+// and, with Options.Live, the online detector — against its registered
+// expectation.
+func VerifyScenario(s *Scenario, opts ScenarioOptions) (*ScenarioOutcome, error) {
+	return scenario.Verify(s, opts)
+}
+
+// RenderScenarioList formats the catalogue as the `mscope scenario list`
+// table.
+func RenderScenarioList(specs []Scenario) string { return scenario.RenderList(specs) }
 
 // Figure builders (one per paper figure).
 var (
