@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet selfobs-lint test test-short race race-short bench bench-check overhead-check fidelity-check overload-soak dist-soak scenario-soak profile-ingest cover fuzz chaos live-smoke experiment clean
+.PHONY: all build vet selfobs-lint test test-short race race-short bench bench-check overhead-check fidelity-check overload-soak dist-soak scenario-soak serve-smoke profile-ingest cover fuzz chaos live-smoke experiment clean
 
-all: build vet selfobs-lint race-short live-smoke test bench-check overhead-check fidelity-check overload-soak dist-soak scenario-soak
+all: build vet selfobs-lint race-short live-smoke serve-smoke test bench-check overhead-check fidelity-check overload-soak dist-soak scenario-soak
 
 build:
 	$(GO) build ./...
@@ -38,7 +38,9 @@ bench:
 # pins absolute bounds on the serial direct path: a rows_per_sec floor at
 # 2x the staged-pipeline baseline and an allocs_per_op ceiling at 1/5 of
 # it. The per-format parser microbenchmarks are gated by the
-# BENCH_parsers.json per-line budgets.
+# BENCH_parsers.json per-line budgets, and BENCH_query.json pins absolute
+# interactive-latency ceilings on the serve window-aggregation and
+# flamegraph-render endpoints.
 bench-check:
 	$(GO) test -run xxx -bench 'BenchmarkIngestBatch|BenchmarkIngestParallel|BenchmarkIngestStreaming' \
 		-benchtime 5x -benchmem . 2>&1 | tee bench_output.txt
@@ -47,6 +49,9 @@ bench-check:
 	$(GO) run ./cmd/benchcheck --input parser_bench_output.txt BENCH_parsers.json
 	$(GO) test -run xxx -bench BenchmarkIngestDistributed -benchtime 5x -benchmem . 2>&1 | tee dist_bench_output.txt
 	$(GO) run ./cmd/benchcheck --input dist_bench_output.txt BENCH_dist.json
+	$(GO) test -run xxx -bench 'BenchmarkQueryWindow|BenchmarkQueryWindowPruned|BenchmarkFlamegraphRender' \
+		-benchtime 5x -benchmem ./internal/serve/ 2>&1 | tee query_bench_output.txt
+	$(GO) run ./cmd/benchcheck --input query_bench_output.txt BENCH_query.json
 
 # Self-observability budget gate: paired instrumented-vs-disabled ingests
 # of the same corpus; fails if the median overhead exceeds the absolute
@@ -67,6 +72,14 @@ fidelity-check:
 # with hysteresis, and still raise the disk-IO verdict.
 overload-soak:
 	$(GO) test -race -run TestOverloadSoak -v ./internal/stream/
+
+# Observability-service smoke under the race detector: every `mscope
+# serve` endpoint — tables, MQL query, index-pruned window aggregation,
+# waterfall, flamegraph SVG, diagnosis timeline, healthz, metrics — is
+# driven against a real scenario warehouse, plus the live-attachment path
+# with concurrent queries during load.
+serve-smoke:
+	$(GO) test -race -run 'TestServeSmoke|TestServeLivePipeline' -v ./internal/serve/
 
 # Distributed kill/restart soak under the race detector: four agents ship
 # the disk-IO trial to a throttled collector, one is crashed mid-stream

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -28,7 +27,9 @@ func cmdAgent(args []string) error {
 	logs := fs.String("logs", "", "directory this node's monitors write (required)")
 	poll := fs.Duration("poll", 10*time.Millisecond, "tailer poll interval")
 	batch := fs.Int("batch", 0, "max records per batch frame (default 512)")
-	httpAddr := fs.String("http", "", "serve /status /metrics on this address (e.g. :8081)")
+	httpAddr := fs.String("http", "", "serve /status /metrics /healthz on this address (e.g. :8081)")
+	selfTrace := fs.Bool("self-trace", false,
+		"ship this agent's own span telemetry to the collector at drain time")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,6 +45,7 @@ func cmdAgent(args []string) error {
 		LogDir:          *logs,
 		Poll:            *poll,
 		MaxBatchRecords: *batch,
+		SelfTrace:       *selfTrace,
 	})
 	if err != nil {
 		return err
@@ -55,18 +57,9 @@ func cmdAgent(args []string) error {
 		if err != nil {
 			return fmt.Errorf("agent: %w", err)
 		}
-		mux := http.NewServeMux()
-		mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			_ = json.NewEncoder(w).Encode(a.Status())
-		})
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-			fmt.Fprint(w, a.MetricsText())
-		})
-		srv = &http.Server{Handler: mux}
+		srv = &http.Server{Handler: a.Handler()}
 		go func() { _ = srv.Serve(ln) }()
-		fmt.Printf("serving /status /metrics on %s\n", ln.Addr())
+		fmt.Printf("serving /status /metrics /healthz on %s\n", ln.Addr())
 	}
 
 	a.Start()

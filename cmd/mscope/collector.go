@@ -1,7 +1,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -31,7 +30,11 @@ func cmdCollector(args []string) error {
 	budget := fs.Float64("budget", 0, "quarantine error budget per source (0 = default 5%)")
 	credit := fs.Int64("credit", 0, "per-agent record credit window (default 4096)")
 	fidelity := fs.String("fidelity", "", "degradation mode: full | adaptive | aggregate (default full)")
-	httpAddr := fs.String("http", "", "serve /status /alerts /metrics on this address (e.g. :8080)")
+	httpAddr := fs.String("http", "", "serve /status /alerts /metrics /healthz on this address (e.g. :8080)")
+	serveAddr := fs.String("serve", "",
+		"additionally serve the full observability API (query, flamegraphs, diagnosis) over the fleet warehouse on this address")
+	selfTrace := fs.Bool("self-trace", false,
+		"ingest the collector's own span telemetry into the warehouse at drain time")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,11 +71,12 @@ func cmdCollector(args []string) error {
 			a.Diagnosis.Verdict)
 	}
 	col, err := milliscope.NewCollector(milliscope.CollectorConfig{
-		Token:   *token,
-		Network: *network,
-		Addr:    *listen,
-		Engine:  engine,
-		Credit:  *credit,
+		Token:     *token,
+		Network:   *network,
+		Addr:      *listen,
+		Engine:    engine,
+		Credit:    *credit,
+		SelfTrace: *selfTrace,
 	})
 	if err != nil {
 		return err
@@ -88,19 +92,28 @@ func cmdCollector(args []string) error {
 		if err != nil {
 			return fmt.Errorf("collector: %w", err)
 		}
-		mux := http.NewServeMux()
-		mux.Handle("/", col.Pipeline().Handler())
-		mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			_ = json.NewEncoder(w).Encode(col.Status())
-		})
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-			fmt.Fprint(w, col.MetricsText())
-		})
-		srv = &http.Server{Handler: mux}
+		srv = &http.Server{Handler: col.Handler()}
 		go func() { _ = srv.Serve(ln) }()
-		fmt.Printf("serving /status /alerts /metrics on %s\n", ln.Addr())
+		fmt.Printf("serving /status /alerts /collector /metrics /healthz on %s\n", ln.Addr())
+	}
+	var obsSrv *http.Server
+	if *serveAddr != "" {
+		obs, err := milliscope.NewObservabilityServer(milliscope.ServeConfig{
+			Pipeline: col.Pipeline(), Window: *window,
+		})
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			return fmt.Errorf("collector: serve listener: %w", err)
+		}
+		// The collector's own surface claims the fleet endpoints; the
+		// observability API answers everything else.
+		obsSrv = &http.Server{Handler: mountServe(obs, col.Handler(),
+			"/status", "/alerts", "/collector", "/metrics", "/healthz")}
+		go func() { _ = obsSrv.Serve(ln) }()
+		fmt.Printf("serving the observability API on %s\n", ln.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -110,6 +123,9 @@ func cmdCollector(args []string) error {
 	stopErr := col.Stop()
 	if srv != nil {
 		_ = srv.Close()
+	}
+	if obsSrv != nil {
+		_ = obsSrv.Close()
 	}
 
 	st := col.Status()

@@ -27,6 +27,8 @@ func cmdLive(args []string) error {
 	poll := fs.Duration("poll", 10*time.Millisecond, "tailer poll interval")
 	grace := fs.Duration("grace", 0, "classification grace past the watermark (default 2s)")
 	httpAddr := fs.String("http", "", "serve /status /alerts /metrics on this address (e.g. :8080)")
+	serveAddr := fs.String("serve", "",
+		"serve the full observability API (query, flamegraphs, diagnosis) over the live warehouse on this address")
 	debugAddr := fs.String("debug-addr", "",
 		"serve /debug/pprof and /debug/vars on this address (kept off the metrics listener)")
 	selfLog := fs.String("self-log", "",
@@ -148,6 +150,22 @@ func cmdLive(args []string) error {
 		go func() { _ = srv.Serve(ln) }()
 		fmt.Printf("serving /status /alerts /metrics on %s\n", ln.Addr())
 	}
+	var obsSrv *http.Server
+	if *serveAddr != "" {
+		obs, err := milliscope.NewObservabilityServer(milliscope.ServeConfig{
+			Pipeline: pipe, Window: *window,
+		})
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			return fmt.Errorf("live: serve listener: %w", err)
+		}
+		obsSrv = &http.Server{Handler: mountServe(obs, pipe.Handler(), "/status", "/alerts")}
+		go func() { _ = obsSrv.Serve(ln) }()
+		fmt.Printf("serving the observability API on %s\n", ln.Addr())
+	}
 	var dbgSrv *http.Server
 	if *debugAddr != "" {
 		ln, err := net.Listen("tcp", *debugAddr)
@@ -164,6 +182,9 @@ func cmdLive(args []string) error {
 	stopErr := pipe.Stop()
 	if srv != nil {
 		_ = srv.Close()
+	}
+	if obsSrv != nil {
+		_ = obsSrv.Close()
 	}
 	if dbgSrv != nil {
 		_ = dbgSrv.Close()

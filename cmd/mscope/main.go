@@ -10,6 +10,7 @@
 //	mscope query --db w.db 'SELECT ... FROM ...'      run an MQL query
 //	mscope report --db w.db --figure fig2             render a figure
 //	mscope experiment --out exp/                      regenerate everything
+//	mscope serve --db w.db --listen :8080             query API + flamegraphs
 //	mscope collector --listen :9090 --db w.db         central ingest server
 //	mscope agent --id n1 --logs logs/ --addr host:9090 per-node log shipper
 //	mscope scenario verify --all --live               fault-catalogue soak
@@ -66,6 +67,8 @@ func run(args []string) error {
 		return cmdTrace(args[1:])
 	case "selftrace":
 		return cmdSelfTrace(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
 	case "scenario":
 		return cmdScenario(args[1:])
 	case "experiment":
@@ -99,7 +102,11 @@ commands:
   diagnose   detect VLRT windows and name their root causes
   trace      render one request's causal path (Figure 5)
   selftrace  per-stage critical-path breakdown of milliScope's own
-             telemetry (ingest a log produced with --self-log first)
+             telemetry (ingest a log produced with --self-log first);
+             --fleet merges every node's spans into one cross-node path
+  serve      observability service over a saved warehouse: MQL query API,
+             per-request waterfalls and critical-path flamegraphs, and
+             the diagnosis timeline with full evidence
   scenario   declarative fault catalogue: list the registry, run one
              entry, or verify entries end to end against their expected
              verdicts (batch, and online with --live)

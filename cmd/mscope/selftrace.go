@@ -41,10 +41,15 @@ func startSelfObs(pipeline, path string) func() {
 }
 
 // cmdSelfTrace renders the per-batch critical-path breakdown of
-// milliScope's own telemetry from *_selftrace warehouse tables.
+// milliScope's own telemetry from *_selftrace warehouse tables. With
+// --fleet it instead merges every node's spans — shipped by agents run
+// with --self-trace and collectors with self-trace ingest — into one
+// cross-node critical path with node attribution.
 func cmdSelfTrace(args []string) error {
 	fs := flag.NewFlagSet("selftrace", flag.ContinueOnError)
 	dbPath := fs.String("db", "", "warehouse file (required)")
+	fleet := fs.Bool("fleet", false,
+		"merge every node's telemetry into one cross-node critical path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,6 +59,17 @@ func cmdSelfTrace(args []string) error {
 	db, err := milliscope.LoadDB(*dbPath)
 	if err != nil {
 		return err
+	}
+	if *fleet {
+		ft, err := milliscope.FleetSelfTraceBreakdown(db)
+		if err != nil {
+			return err
+		}
+		if ft == nil {
+			fmt.Println("no self-telemetry in the warehouse (run agents with --self-trace)")
+			return nil
+		}
+		return milliscope.RenderFleetSelfTrace(os.Stdout, ft)
 	}
 	batches, err := milliscope.SelfTraceBreakdown(db)
 	if err != nil {

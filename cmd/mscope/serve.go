@@ -1,0 +1,65 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/gt-elba/milliscope"
+)
+
+// cmdServe runs the observability service over a saved warehouse: the
+// query API, waterfall/flamegraph rendering, and the diagnosis timeline,
+// all on one listener. Attach to a live engine instead with
+// `mscope live --serve` or `mscope collector --serve`.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "warehouse file (required)")
+	listen := fs.String("listen", ":8080", "listen address")
+	window := fs.Duration("window", 50*time.Millisecond, "diagnosis window width")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" {
+		return fmt.Errorf("serve: --db is required")
+	}
+	db, err := milliscope.LoadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	obs, err := milliscope.NewObservabilityServer(milliscope.ServeConfig{
+		DB: db, Window: *window,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	srv := &http.Server{Handler: obs.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Printf("serving %s on http://%s — open / for the index, /api/query for MQL,\n"+
+		"/flamegraph.svg for the slowest request's critical path\n", *dbPath, ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return srv.Close()
+}
+
+// mountServe wires the observability API under a live engine's surface:
+// the serve handler answers everything the engine mux doesn't claim.
+func mountServe(obs *milliscope.ObservabilityServer, engine http.Handler, claims ...string) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", obs.Handler())
+	for _, path := range claims {
+		mux.Handle(path, engine)
+	}
+	return mux
+}

@@ -17,13 +17,15 @@
 package agentd
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +33,7 @@ import (
 	"github.com/gt-elba/milliscope/internal/fidelity"
 	"github.com/gt-elba/milliscope/internal/mxml"
 	"github.com/gt-elba/milliscope/internal/parsers"
+	"github.com/gt-elba/milliscope/internal/promfmt"
 	"github.com/gt-elba/milliscope/internal/selfobs"
 	"github.com/gt-elba/milliscope/internal/stream"
 	"github.com/gt-elba/milliscope/internal/transform"
@@ -72,6 +75,12 @@ type Config struct {
 	MaxBatchRecords int
 	// ReconnectBase/ReconnectMax bound the dial backoff (50ms–2s default).
 	ReconnectBase, ReconnectMax time.Duration
+	// SelfTrace records this agent's own spans (opens, ships, drain) in a
+	// node-local selfobs collector and ships them at drain as one final
+	// synthetic source named "<ID>_selftrace.log" — the collector's
+	// warehouse then holds every node's telemetry with per-node tables,
+	// which is what `mscope selftrace --fleet` renders.
+	SelfTrace bool
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -113,6 +122,10 @@ func (c *Config) withDefaults() (Config, error) {
 // the resume protocol must survive.
 type Agent struct {
 	cfg Config
+	// obs is the agent's own span collector (nil unless Config.SelfTrace);
+	// standalone, not the process-global one, so several agents in one
+	// test process keep their telemetry separate.
+	obs *selfobs.Collector
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -149,13 +162,17 @@ func New(cfg Config) (*Agent, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Agent{
+	a := &Agent{
 		cfg:    c,
 		stopCh: make(chan struct{}),
 		doneCh: make(chan struct{}),
 		denied: make(map[string]bool),
 		failed: make(map[string]bool),
-	}, nil
+	}
+	if c.SelfTrace {
+		a.obs = selfobs.NewCollector(c.ID, time.Now())
+	}
+	return a, nil
 }
 
 // Start launches the connect/ship loop.
@@ -500,6 +517,7 @@ func (s *session) scan() error {
 }
 
 func (s *session) open(full, name string) error {
+	sp := s.a.obs.Begin(selfobs.PipeAgent, "open", s.a.cfg.ID, name)
 	s.nextID++
 	id := s.nextID
 	ch := make(chan int64, 1)
@@ -526,6 +544,7 @@ func (s *session) open(full, name string) error {
 		s.a.bmu.Lock()
 		s.a.denied[full] = true
 		s.a.bmu.Unlock()
+		sp.End(0, 1)
 		return nil
 	}
 	b, _ := s.a.cfg.Plan.Find(name)
@@ -550,6 +569,7 @@ func (s *session) open(full, name string) error {
 	s.sources = append(s.sources, src)
 	s.byPath[full] = src
 	s.a.liveSources.Add(1)
+	sp.End(1, 0)
 	return nil
 }
 
@@ -592,6 +612,10 @@ func (s *session) ship(src *agentSource, offExact bool) error {
 	}
 	if len(pending) == 0 && off == src.lastOff && quar == src.lastQuar {
 		return nil
+	}
+	var sp selfobs.Span
+	if len(pending) > 0 {
+		sp = s.a.obs.Begin(selfobs.PipeAgent, "ship", s.a.cfg.ID, src.name)
 	}
 	max := s.a.cfg.MaxBatchRecords
 	for start := 0; ; start += max {
@@ -639,6 +663,7 @@ func (s *session) ship(src *agentSource, offExact bool) error {
 			return err
 		}
 	}
+	sp.End(int64(len(pending)), quar-src.lastQuar)
 	src.lastOff = off
 	src.lastQuar = quar
 	s.a.quarantined.Store(s.totalQuarantined())
@@ -696,6 +721,7 @@ func (s *session) reportFailed(src *agentSource) error {
 // emit, ship the remainder, wait for every ack, and say Goodbye — the
 // exact mirror of the local pipeline's stop sequence.
 func (s *session) drain() error {
+	sp := s.a.obs.Begin(selfobs.PipeAgent, "drain", s.a.cfg.ID, "")
 	if err := s.scan(); err != nil {
 		return err
 	}
@@ -752,6 +778,12 @@ func (s *session) drain() error {
 			return err
 		}
 	}
+	// Close the drain span before rendering: the ship below carries every
+	// span recorded so far, including this one.
+	sp.End(int64(len(s.sources)), 0)
+	if err := s.shipSelfTrace(); err != nil {
+		return err
+	}
 	// Every batch acked before Goodbye: the collector may then retire the
 	// session knowing all records are applied.
 	s.mu.Lock()
@@ -767,6 +799,109 @@ func (s *session) drain() error {
 		return err
 	}
 	return s.c.Flush()
+}
+
+// shipSelfTrace ships the agent's own telemetry as one final synthetic
+// source, after every real source has drained. The spans render through
+// the selfobs log format and re-parse with the registered selftrace
+// mScopeParser, so the shipped schema is exactly what a file ingest of
+// the same log would load. The synthetic key's base name starts with the
+// agent ID, which HostOf turns into the warehouse table prefix: spans
+// land in "<ID>_selftrace" and the fleet view attributes them to this
+// node. Best-effort: a collector that already holds bytes under this key
+// (an earlier agent generation reusing the ID) skips the ship rather
+// than splice two unrelated logs at a byte offset.
+func (s *session) shipSelfTrace() error {
+	obs := s.a.obs
+	if obs == nil {
+		return nil
+	}
+	name := s.a.cfg.ID + "_selftrace.log"
+	b, ok := s.a.cfg.Plan.Find(name)
+	if !ok {
+		return nil
+	}
+	parser, err := parsers.Get(b.Parser)
+	if err != nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if _, err := obs.WriteLog(&buf); err != nil {
+		return err
+	}
+	data := buf.Bytes()
+	if len(data) == 0 {
+		return nil
+	}
+	full := filepath.Join(s.a.cfg.LogDir, name)
+	s.nextID++
+	id := s.nextID
+	ch := make(chan int64, 1)
+	s.mu.Lock()
+	s.resumes[id] = ch
+	s.mu.Unlock()
+	if err := s.c.Write(wire.TypeOpen, wire.EncodeOpen(wire.Open{
+		SourceID: id, Key: full, Name: name,
+	})); err != nil {
+		return err
+	}
+	if err := s.c.Flush(); err != nil {
+		return err
+	}
+	var offset int64
+	select {
+	case offset = <-ch:
+	case <-s.deadCh:
+		return s.deadErr
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("agentd: %s: no Resume within 30s", name)
+	}
+	if offset != 0 {
+		return nil // denied, or a prior generation's bytes: skip
+	}
+	var entries []mxml.Entry
+	emit := func(e mxml.Entry) error {
+		entries = append(entries, e)
+		return nil
+	}
+	if err := parser.Parse(bytes.NewReader(data), b.Instructions, emit); err != nil {
+		return err
+	}
+	max := s.a.cfg.MaxBatchRecords
+	var seq uint64
+	for start := 0; start < len(entries); start += max {
+		end := start + max
+		if end > len(entries) {
+			end = len(entries)
+		}
+		chunk := entries[start:end]
+		if err := s.acquire(int64(len(chunk))); err != nil {
+			return err
+		}
+		seq++
+		bt := wire.Batch{SourceID: id, Seq: seq}
+		if end == len(entries) {
+			bt.Offset = int64(len(data))
+		}
+		bt.AppendEntries(chunk)
+		payload := wire.EncodeBatch(&bt)
+		for i := range chunk {
+			chunk[i].Release()
+		}
+		if err := s.c.Write(wire.TypeBatch, payload); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.outstanding++
+		s.mu.Unlock()
+		s.a.batchesSent.Add(1)
+		s.a.recordsSent.Add(int64(len(chunk)))
+		// Flush before the next acquire can block (see ship).
+		if err := s.c.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // teardown closes the per-session source machinery after the connection
@@ -954,17 +1089,16 @@ func (a *Agent) Status() Status {
 	}
 }
 
-// MetricsText renders the agent counters in Prometheus exposition format.
+// MetricsText renders the agent counters in Prometheus exposition
+// format, through the shared promfmt writer every mscope surface uses.
 func (a *Agent) MetricsText() string {
 	st := a.Status()
-	var b strings.Builder
+	var w promfmt.Writer
 	c := func(name string, v int64, help string) {
-		fmt.Fprintf(&b, "# HELP mscope_agent_%s %s\n# TYPE mscope_agent_%s counter\nmscope_agent_%s %d\n",
-			name, help, name, name, v)
+		w.Counter(promfmt.Prefix+"agent_"+name, help, float64(v))
 	}
 	g := func(name string, v int64, help string) {
-		fmt.Fprintf(&b, "# HELP mscope_agent_%s %s\n# TYPE mscope_agent_%s gauge\nmscope_agent_%s %d\n",
-			name, help, name, name, v)
+		w.Gauge(promfmt.Prefix+"agent_"+name, help, float64(v))
 	}
 	c("batches_sent_total", st.BatchesSent, "batch frames shipped to the collector")
 	c("records_sent_total", st.RecordsSent, "records shipped to the collector")
@@ -985,5 +1119,52 @@ func (a *Agent) MetricsText() string {
 	}
 	g("collector_fidelity_state", fidVal, "collector-pushed fidelity: 0 full, 1 aggregate, 2 shed")
 	g("collector_queue_pct", int64(st.QueuePct), "collector record-channel fill percent")
-	return b.String()
+	return w.String()
+}
+
+// Handler serves the agent's observability endpoints: /status as JSON,
+// /metrics as Prometheus text, /healthz as a readiness probe that holds
+// 200 while the agent is connected to its collector.
+func (a *Agent) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(a.Status())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_, _ = w.Write([]byte(a.MetricsText()))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := a.Status()
+		stopped := false
+		select {
+		case <-a.doneCh:
+			stopped = true
+		default:
+		}
+		probes := map[string]bool{
+			"wire":    st.Connected,
+			"running": !stopped,
+		}
+		writeHealth(w, probes, st.Connected && !stopped)
+	})
+	return mux
+}
+
+// writeHealth renders one readiness body: every probe with its state,
+// HTTP 200 iff all hold.
+func writeHealth(w http.ResponseWriter, probes map[string]bool, ok bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if !ok {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(struct {
+		OK     bool            `json:"ok"`
+		Probes map[string]bool `json:"probes"`
+	}{OK: ok, Probes: probes})
 }

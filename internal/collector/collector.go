@@ -23,17 +23,22 @@
 package collector
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"net"
-	"strings"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/gt-elba/milliscope/internal/mscopedb"
 	"github.com/gt-elba/milliscope/internal/mxml"
+	"github.com/gt-elba/milliscope/internal/parsers"
+	"github.com/gt-elba/milliscope/internal/promfmt"
 	"github.com/gt-elba/milliscope/internal/selfobs"
 	"github.com/gt-elba/milliscope/internal/stream"
+	"github.com/gt-elba/milliscope/internal/transform"
 	"github.com/gt-elba/milliscope/internal/wire"
 )
 
@@ -65,6 +70,11 @@ type Config struct {
 	// ControlEvery is the fidelity/pressure broadcast cadence (default
 	// 250ms); state changes are pushed to every connected agent.
 	ControlEvery time.Duration
+	// SelfTrace records the collector's own spans (connections, opens,
+	// batch ingest) in a node-local selfobs collector and loads them into
+	// the warehouse at Stop under "collector_selftrace" — alongside the
+	// per-agent tables the agents ship, completing the fleet view.
+	SelfTrace bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -88,6 +98,10 @@ type Collector struct {
 	cfg  Config
 	pipe *stream.Pipeline
 	ln   net.Listener
+	// obs is the collector's own span collector (nil unless
+	// Config.SelfTrace); standalone, so its records carry this node's
+	// identity rather than the process-global session's.
+	obs *selfobs.Collector
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -119,13 +133,17 @@ func New(cfg Config) (*Collector, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Collector{
+	col := &Collector{
 		cfg:    c,
 		pipe:   pipe,
 		stopCh: make(chan struct{}),
 		conns:  make(map[*conn]struct{}),
 		owners: make(map[string]*conn),
-	}, nil
+	}
+	if c.SelfTrace {
+		col.obs = selfobs.NewCollector("collector", time.Now())
+	}
+	return col, nil
 }
 
 // Pipeline exposes the engine for status, alerts, and (after Stop) the
@@ -171,7 +189,78 @@ func (col *Collector) Stop() error {
 	col.mu.Unlock()
 	col.connWG.Wait()
 	col.wg.Wait()
-	return col.pipe.Stop()
+	var obsErr error
+	if col.obs != nil {
+		obsErr = col.shipSelfTrace()
+	}
+	if err := col.pipe.Stop(); err != nil {
+		return err
+	}
+	return obsErr
+}
+
+// shipSelfTrace loads the collector's own spans into the warehouse
+// through the same remote-source path agent batches take: render the
+// selfobs log, re-parse it with the registered selftrace mScopeParser,
+// feed the entries to the loader, and commit the byte offset — so
+// "collector_selftrace" is indistinguishable from a table an agent
+// shipped. Called between connection teardown and engine drain: the
+// loader is still running, and no agent frames can interleave.
+func (col *Collector) shipSelfTrace() error {
+	var buf bytes.Buffer
+	if _, err := col.obs.WriteLog(&buf); err != nil {
+		return err
+	}
+	data := buf.Bytes()
+	if len(data) == 0 {
+		return nil
+	}
+	const name = "collector_selftrace.log"
+	plan := col.cfg.Engine.Plan
+	if plan == nil {
+		plan = transform.DefaultPlan()
+	}
+	b, ok := plan.Find(name)
+	if !ok {
+		return nil
+	}
+	parser, err := parsers.Get(b.Parser)
+	if err != nil {
+		return nil
+	}
+	rs, offset, err := col.pipe.OpenRemote(name, name)
+	if err != nil || rs == nil {
+		return err
+	}
+	if offset != 0 {
+		rs.Suspend()
+		return nil
+	}
+	var entries []mxml.Entry
+	emit := func(e mxml.Entry) error {
+		entries = append(entries, e)
+		return nil
+	}
+	if err := parser.Parse(bytes.NewReader(data), b.Instructions, emit); err != nil {
+		rs.Suspend()
+		return err
+	}
+	if len(entries) > 0 {
+		done := make(chan struct{})
+		var left atomic.Int64
+		left.Store(int64(len(entries)))
+		for _, e := range entries {
+			rs.Append(e, func() {
+				if left.Add(-1) == 0 {
+					close(done)
+				}
+			})
+		}
+		<-done
+	}
+	rs.SetCommitted(int64(len(data)))
+	rs.Suspend()
+	return nil
 }
 
 func (col *Collector) stopping() bool {
@@ -379,12 +468,18 @@ func (c *conn) serve() {
 	if !c.handshake() {
 		return
 	}
+	sp := c.col.obs.Begin(selfobs.PipeCollector, "conn", c.agentID, "")
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
 		c.writer()
 	}()
 	clean := c.readLoop()
+	var connErrs int64
+	if !clean {
+		connErrs = 1
+	}
+	sp.End(int64(len(c.sources)), connErrs)
 	// Release ownership so a restarted agent can re-adopt; sources of an
 	// uncleanly dead agent stay registered and keep constraining the
 	// watermark — a vanished tier must block window closure, exactly like
@@ -481,8 +576,10 @@ func (c *conn) readLoop() bool {
 // handleOpen adopts one agent source into the engine and answers with
 // the resume offset (or a denial).
 func (c *conn) handleOpen(o wire.Open) {
+	sp := c.col.obs.Begin(selfobs.PipeCollector, "open", c.agentID, o.Name)
 	deny := func() {
 		c.col.denials.Add(1)
+		sp.End(0, 1)
 		c.enqueue(wire.TypeResume, wire.EncodeResume(wire.Resume{
 			SourceID: o.SourceID, Offset: stream.ResumeDenied,
 		}))
@@ -497,6 +594,7 @@ func (c *conn) handleOpen(o wire.Open) {
 		deny()
 		return
 	}
+	sp.End(1, 0)
 	c.col.opens.Add(1)
 	c.sources[o.SourceID] = &connSource{conn: c, id: o.SourceID, rs: rs}
 	c.enqueue(wire.TypeResume, wire.EncodeResume(wire.Resume{
@@ -511,6 +609,7 @@ func (c *conn) handleBatch(b *wire.Batch) bool {
 	if cs == nil {
 		return false
 	}
+	sp := c.col.obs.Begin(selfobs.PipeCollector, "ingest", c.agentID, "")
 	c.col.batchesIn.Add(1)
 	obsBatchesIn.Add(1)
 	st := &batchState{seq: b.Seq, offset: b.Offset, quarantined: b.Quarantined}
@@ -522,6 +621,7 @@ func (c *conn) handleBatch(b *wire.Batch) bool {
 		// source is concurrently in flight once the queue ahead is empty —
 		// the drain below observes quiescent counters.
 		cs.drain()
+		sp.End(0, 0)
 		return true
 	}
 	n := 0
@@ -535,6 +635,7 @@ func (c *conn) handleBatch(b *wire.Batch) bool {
 	})
 	c.col.recordsIn.Add(int64(n))
 	obsRecordsIn.Add(int64(n))
+	sp.End(int64(n), 0)
 	return true
 }
 
@@ -643,18 +744,16 @@ func (col *Collector) Status() Status {
 }
 
 // MetricsText renders the collector counters in Prometheus exposition
-// format, appended to the engine's own families.
+// format, appended to the engine's own families — both sides rendered
+// through the shared promfmt writer, so the concatenation still lints.
 func (col *Collector) MetricsText() string {
 	st := col.Status()
-	var b strings.Builder
-	b.WriteString(col.pipe.MetricsText())
+	var w promfmt.Writer
 	c := func(name string, v int64, help string) {
-		fmt.Fprintf(&b, "# HELP mscope_collector_%s %s\n# TYPE mscope_collector_%s counter\nmscope_collector_%s %d\n",
-			name, help, name, name, v)
+		w.Counter(promfmt.Prefix+"collector_"+name, help, float64(v))
 	}
 	g := func(name string, v int64, help string) {
-		fmt.Fprintf(&b, "# HELP mscope_collector_%s %s\n# TYPE mscope_collector_%s gauge\nmscope_collector_%s %d\n",
-			name, help, name, name, v)
+		w.Gauge(promfmt.Prefix+"collector_"+name, help, float64(v))
 	}
 	g("agents", int64(st.Agents), "agent connections currently live")
 	c("conns_total", st.ConnsTotal, "agent connections accepted")
@@ -666,5 +765,53 @@ func (col *Collector) MetricsText() string {
 	c("acks_total", st.AcksOut, "batch acks sent")
 	c("wire_rx_bytes_total", st.WireRxBytes, "raw bytes read from agents")
 	c("wire_tx_bytes_total", st.WireTxBytes, "raw bytes written to agents")
-	return b.String()
+	return col.pipe.MetricsText() + w.String()
+}
+
+// Handler serves the collector's observability endpoints: the engine's
+// /status and /alerts, /collector as the collector's own counters,
+// /metrics as the combined Prometheus families, and /healthz holding
+// 200 while the listener accepts and the engine runs.
+func (col *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(v)
+	}
+	engine := col.pipe.Handler()
+	mux.Handle("/status", engine)
+	mux.Handle("/alerts", engine)
+	mux.HandleFunc("/collector", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, col.Status())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_, _ = w.Write([]byte(col.MetricsText()))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		listening := !col.stopping() && col.ln != nil
+		running := col.pipe.Status().Running
+		writeHealth(w, map[string]bool{
+			"wire":   listening,
+			"engine": running,
+		}, listening && running)
+	})
+	return mux
+}
+
+// writeHealth renders one readiness body: every probe with its
+// state, HTTP 200 iff all hold.
+func writeHealth(w http.ResponseWriter, probes map[string]bool, ok bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if !ok {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(struct {
+		OK     bool            `json:"ok"`
+		Probes map[string]bool `json:"probes"`
+	}{OK: ok, Probes: probes})
 }

@@ -269,6 +269,171 @@ func unionUS(iv [][2]int64) int64 {
 	return total
 }
 
+// FleetStage is one (node, pipeline, stage) aggregate in the fleet-wide
+// self-trace: the per-node tables a distributed deployment ships are
+// merged on absolute span time, so Share is measured against the whole
+// fleet's wall window — the cross-node critical path.
+type FleetStage struct {
+	Node     string
+	Pipeline string
+	Stage    string
+	Spans    int
+	Items    int64
+	Errs     int64
+	TotalUS  int64
+	MaxUS    int64
+	BusyUS   int64
+	Share    float64
+}
+
+// FleetSelfTrace is the cross-node merge of every *_selftrace table:
+// one wall window spanning the earliest span start to the latest span
+// end anywhere in the fleet, with per-node stage attribution.
+type FleetSelfTrace struct {
+	// Nodes are the contributing node names (table name minus the
+	// "_selftrace" suffix), sorted.
+	Nodes []string
+	// WallUS spans the whole fleet's telemetry window. Spans from
+	// different machines compare on their rendered wall timestamps, so
+	// cross-node shares inherit whatever clock skew the nodes have.
+	WallUS int64
+	Spans  int
+	// Stages are sorted by BusyUS descending — the fleet critical path.
+	Stages []FleetStage
+}
+
+// FleetSelfTraceBreakdown merges every *_selftrace table in the
+// warehouse — the agents' shipped telemetry plus the collector's own —
+// into one cross-node critical path. A nil result (no error) means the
+// warehouse holds no self-telemetry.
+func FleetSelfTraceBreakdown(db *mscopedb.DB) (*FleetSelfTrace, error) {
+	type key struct{ node, pipeline, stage string }
+	agg := make(map[key]*FleetStage)
+	intervals := make(map[key][][2]int64)
+	var minStart, maxEnd int64
+	total := 0
+	var nodes []string
+	for _, name := range db.TableNames() {
+		if !strings.HasSuffix(name, "_selftrace") {
+			continue
+		}
+		node := strings.TrimSuffix(name, "_selftrace")
+		tbl, err := db.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := tbl.Select().Where("kind", mscopedb.OpEq, "span").Rows()
+		if err != nil {
+			return nil, fmt.Errorf("selftrace: table %s: %w", name, err)
+		}
+		if res.Len() == 0 {
+			continue
+		}
+		ltimes, err := res.TimesMicros("ltime")
+		if err != nil {
+			return nil, fmt.Errorf("selftrace: table %s: %w", name, err)
+		}
+		pipelines, err := res.Strings("pipeline")
+		if err != nil {
+			return nil, err
+		}
+		stages, err := res.Strings("stage")
+		if err != nil {
+			return nil, err
+		}
+		var durs, items, errs []int64
+		for _, c := range []struct {
+			dst *[]int64
+			col string
+		}{
+			{&durs, "dur_us"}, {&items, "items"}, {&errs, "errs"},
+		} {
+			if *c.dst, err = res.Ints(c.col); err != nil {
+				return nil, err
+			}
+		}
+		nodes = append(nodes, node)
+		for i := 0; i < res.Len(); i++ {
+			start, end := ltimes[i], ltimes[i]+durs[i]
+			if total == 0 || start < minStart {
+				minStart = start
+			}
+			if total == 0 || end > maxEnd {
+				maxEnd = end
+			}
+			total++
+			k := key{node, pipelines[i], stages[i]}
+			st := agg[k]
+			if st == nil {
+				st = &FleetStage{Node: node, Pipeline: pipelines[i], Stage: stages[i]}
+				agg[k] = st
+			}
+			st.Spans++
+			st.Items += items[i]
+			st.Errs += errs[i]
+			st.TotalUS += durs[i]
+			if durs[i] > st.MaxUS {
+				st.MaxUS = durs[i]
+			}
+			intervals[k] = append(intervals[k], [2]int64{start, end})
+		}
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	sort.Strings(nodes)
+	ft := &FleetSelfTrace{Nodes: nodes, WallUS: maxEnd - minStart, Spans: total}
+	for k, st := range agg {
+		st.BusyUS = unionUS(intervals[k])
+		if ft.WallUS > 0 {
+			st.Share = float64(st.BusyUS) / float64(ft.WallUS)
+		}
+		ft.Stages = append(ft.Stages, *st)
+	}
+	sort.Slice(ft.Stages, func(i, j int) bool {
+		a, b := ft.Stages[i], ft.Stages[j]
+		if a.BusyUS != b.BusyUS {
+			return a.BusyUS > b.BusyUS
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Pipeline != b.Pipeline {
+			return a.Pipeline < b.Pipeline
+		}
+		return a.Stage < b.Stage
+	})
+	return ft, nil
+}
+
+// RenderFleetSelfTrace prints the cross-node critical path.
+func RenderFleetSelfTrace(w io.Writer, ft *FleetSelfTrace) error {
+	if ft == nil || ft.Spans == 0 {
+		_, err := fmt.Fprintln(w, "no self-telemetry in warehouse "+
+			"(run agents and collector with self-tracing enabled)")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "fleet: %d nodes (%s), %d spans over %.3fms wall\n",
+		len(ft.Nodes), strings.Join(ft.Nodes, ", "), ft.Spans,
+		float64(ft.WallUS)/1000); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-18s %-10s %-11s %6s %9s %6s %11s %11s %11s %6s\n",
+		"node", "pipeline", "stage", "spans", "items", "errs",
+		"total", "max", "busy", "path%"); err != nil {
+		return err
+	}
+	for _, st := range ft.Stages {
+		if _, err := fmt.Fprintf(w, "  %-18s %-10s %-11s %6d %9d %6d %9.3fms %9.3fms %9.3fms %6.1f\n",
+			st.Node, st.Pipeline, st.Stage, st.Spans, st.Items, st.Errs,
+			float64(st.TotalUS)/1000, float64(st.MaxUS)/1000,
+			float64(st.BusyUS)/1000, st.Share*100); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RenderSelfTrace prints the per-batch critical-path tables.
 func RenderSelfTrace(w io.Writer, batches []SelfBatch) error {
 	if len(batches) == 0 {

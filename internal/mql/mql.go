@@ -6,6 +6,7 @@
 //	SELECT * FROM mysql_collectlcsv WHERE dsk_util > 90
 //	SELECT WINDOW 50ms MAX(rt_us) BY ud FROM apache_event
 //	SELECT WINDOW 100ms AVG(dsk_util) BY ts FROM mysql_collectlcsv
+//	SELECT WINDOW 50ms COUNT() BY ltime FROM mscope_selftrace GROUP BY stage
 //
 // The language is deliberately tiny: single-table scans with conjunctive
 // predicates, ordering, limits, and fixed-window aggregation. Request-path
@@ -42,6 +43,9 @@ type Statement struct {
 	AggFn    mscopedb.AggFn
 	AggCol   string
 	TimeCol  string
+	// GroupCol partitions a windowed aggregation by a string column
+	// ("GROUP BY tier"); empty means one ungrouped series.
+	GroupCol string
 }
 
 // Pred is one conjunctive predicate.
@@ -56,6 +60,9 @@ type Output struct {
 	Cols   []string
 	Rows   [][]string
 	Series *mscopedb.Series
+	// Groups carries the per-key series of a GROUP BY window
+	// aggregation; Series is nil in that case.
+	Groups []mscopedb.GroupSeries
 }
 
 // Run parses and executes a query against the warehouse.
@@ -109,11 +116,29 @@ func Exec(db *mscopedb.DB, st *Statement) (*Output, error) {
 		return nil, err
 	}
 	if st.Windowed {
+		fnName := strings.ToLower(st.AggFn.String())
+		if st.GroupCol != "" {
+			groups, err := res.WindowAggBy(st.TimeCol, st.Window, st.AggCol, st.AggFn, st.GroupCol)
+			if err != nil {
+				return nil, err
+			}
+			out := &Output{Cols: []string{st.GroupCol, "window_start_us", fnName}, Groups: groups}
+			for _, g := range groups {
+				for i := range g.StartMicros {
+					out.Rows = append(out.Rows, []string{
+						g.Key,
+						strconv.FormatInt(g.StartMicros[i], 10),
+						strconv.FormatFloat(g.Values[i], 'g', -1, 64),
+					})
+				}
+			}
+			return out, nil
+		}
 		s, err := res.WindowAgg(st.TimeCol, st.Window, st.AggCol, st.AggFn)
 		if err != nil {
 			return nil, err
 		}
-		out := &Output{Cols: []string{"window_start_us", strings.ToLower(st.AggFn.String())}, Series: s}
+		out := &Output{Cols: []string{"window_start_us", fnName}, Series: s}
 		for i := range s.StartMicros {
 			out.Rows = append(out.Rows, []string{
 				strconv.FormatInt(s.StartMicros[i], 10),
@@ -286,7 +311,7 @@ func isAlias(t token) bool {
 	if t.isStr || t.text == "" {
 		return false
 	}
-	for _, kw := range []string{"JOIN", "ON", "WHERE", "ORDER", "LIMIT"} {
+	for _, kw := range []string{"JOIN", "ON", "WHERE", "ORDER", "LIMIT", "GROUP"} {
 		if t.keywordIs(kw) {
 			return false
 		}
@@ -385,9 +410,28 @@ func (p *parser) statement() (*Statement, error) {
 				return nil, fmt.Errorf("bad limit %q", nTok.text)
 			}
 			st.Limit = n
+		case t.keywordIs("GROUP"):
+			p.pos++
+			if err := p.expectKeyword("BY"); err != nil {
+				return nil, err
+			}
+			col, ok := p.next()
+			if !ok {
+				return nil, fmt.Errorf("expected group column")
+			}
+			st.GroupCol = col.text
 		default:
 			return nil, fmt.Errorf("unexpected token %q", t.text)
 		}
+	}
+	// A window aggregation emits on the time grid; arbitrary row order
+	// would contradict the series, so reject it outright instead of
+	// silently ignoring the clause.
+	if st.Windowed && st.OrderCol != "" {
+		return nil, fmt.Errorf("ORDER BY cannot combine with WINDOW: the series is ordered by its time grid")
+	}
+	if st.GroupCol != "" && !st.Windowed {
+		return nil, fmt.Errorf("GROUP BY requires a WINDOW aggregation")
 	}
 	return st, nil
 }

@@ -448,23 +448,17 @@ func (r *Result) WindowAgg(timeCol string, window time.Duration, valCol string, 
 		return &Series{}, nil
 	}
 	w := window.Microseconds()
-	buckets := make(map[int64][]float64)
-	var lo, hi int64
-	first := true
 	timeOf := func(row int) int64 {
 		if r.t.cols[tci].Type == TTime {
 			return r.t.TimeMicros(tci, row)
 		}
 		return r.t.Int(tci, row)
 	}
+	// Bucket bounds first, so the grid can be laid out flat.
+	var lo, hi int64
+	first := true
 	for _, row := range r.idx {
-		ts := timeOf(row)
-		b := ts - mod(ts, w)
-		var v float64
-		if vci >= 0 {
-			v, _ = r.t.numeric(vci, row)
-		}
-		buckets[b] = append(buckets[b], v)
+		b := timeOf(row) - mod(timeOf(row), w)
 		if first || b < lo {
 			lo = b
 		}
@@ -473,12 +467,139 @@ func (r *Result) WindowAgg(timeCol string, window time.Duration, valCol string, 
 		}
 		first = false
 	}
-	var s Series
-	for b := lo; b <= hi; b += w {
-		s.StartMicros = append(s.StartMicros, b)
-		s.Values = append(s.Values, aggregate(fn, buckets[b]))
+	// The output grid covers every window between the first and last
+	// populated buckets, so flat accumulators of the same length cost at
+	// most a small constant factor over the result itself.
+	n := (hi-lo)/w + 1
+	return r.windowAggDense(w, lo, n, fn, vci, timeOf), nil
+}
+
+// windowAggDense is the vectorized aggregation path: one flat
+// accumulator slot per grid bucket, filled in a single pass over the
+// selection (two for p99, which scatters values into per-bucket
+// segments of one backing array by counting-sort offsets). No per-row
+// map lookups or per-bucket slice growth.
+func (r *Result) windowAggDense(w, lo, n int64, fn AggFn, vci int, timeOf func(int) int64) *Series {
+	counts := make([]int64, n)
+	var sums, exts []float64
+	switch fn {
+	case AggAvg, AggSum:
+		sums = make([]float64, n)
+	case AggMax, AggMin:
+		exts = make([]float64, n)
+		init := math.Inf(-1)
+		if fn == AggMin {
+			init = math.Inf(1)
+		}
+		for i := range exts {
+			exts[i] = init
+		}
 	}
-	return &s, nil
+	val := func(row int) float64 {
+		if vci < 0 {
+			return 0
+		}
+		v, _ := r.t.numeric(vci, row)
+		return v
+	}
+	for _, row := range r.idx {
+		ts := timeOf(row)
+		i := (ts - mod(ts, w) - lo) / w
+		counts[i]++
+		switch fn {
+		case AggAvg, AggSum:
+			sums[i] += val(row)
+		case AggMax:
+			if v := val(row); v > exts[i] {
+				exts[i] = v
+			}
+		case AggMin:
+			if v := val(row); v < exts[i] {
+				exts[i] = v
+			}
+		}
+	}
+	var flat []float64
+	var offs []int64
+	if fn == AggP99 {
+		offs = make([]int64, n+1)
+		for i, c := range counts {
+			offs[i+1] = offs[i] + c
+		}
+		flat = make([]float64, offs[n])
+		fill := make([]int64, n)
+		for _, row := range r.idx {
+			ts := timeOf(row)
+			i := (ts - mod(ts, w) - lo) / w
+			flat[offs[i]+fill[i]] = val(row)
+			fill[i]++
+		}
+	}
+	s := &Series{StartMicros: make([]int64, n), Values: make([]float64, n)}
+	for i := int64(0); i < n; i++ {
+		s.StartMicros[i] = lo + i*w
+		if fn == AggCount {
+			s.Values[i] = float64(counts[i])
+			continue
+		}
+		if counts[i] == 0 {
+			continue // zero carry for empty windows, as documented
+		}
+		switch fn {
+		case AggAvg:
+			s.Values[i] = sums[i] / float64(counts[i])
+		case AggSum:
+			s.Values[i] = sums[i]
+		case AggMax, AggMin:
+			s.Values[i] = exts[i]
+		case AggP99:
+			seg := flat[offs[i]:offs[i+1]]
+			sort.Float64s(seg)
+			s.Values[i] = seg[len(seg)*99/100]
+		}
+	}
+	return s
+}
+
+// GroupSeries is one group's window-aggregated series, keyed by the
+// group-by column's value.
+type GroupSeries struct {
+	Key string
+	Series
+}
+
+// WindowAggBy is WindowAgg partitioned by a string column: the
+// selection is split into per-key row sets (cheap on interned columns —
+// low-cardinality keys share backing storage) and each group is
+// aggregated on its own grid. Groups return sorted by key.
+func (r *Result) WindowAggBy(timeCol string, window time.Duration, valCol string, fn AggFn, byCol string) ([]GroupSeries, error) {
+	bci := r.t.ColIndex(byCol)
+	if bci < 0 {
+		return nil, fmt.Errorf("mscopedb: %s: no column %q", r.t.name, byCol)
+	}
+	if r.t.cols[bci].Type != TString {
+		return nil, fmt.Errorf("mscopedb: %s.%s: group-by requires a string column", r.t.name, byCol)
+	}
+	groups := make(map[string][]int)
+	keys := make([]string, 0, 8)
+	for _, row := range r.idx {
+		k := r.t.Str(bci, row)
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], row)
+	}
+	sort.Strings(keys)
+	out := make([]GroupSeries, 0, len(keys))
+	for _, k := range keys {
+		sub := &Result{t: r.t, idx: groups[k]}
+		s, err := sub.WindowAgg(timeCol, window, valCol, fn)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, GroupSeries{Key: k, Series: *s})
+	}
+	return out, nil
 }
 
 func mod(a, b int64) int64 {

@@ -1,0 +1,78 @@
+package promfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriterRendersFamilies(t *testing.T) {
+	var w Writer
+	w.Gauge("mscope_rows_total", "rows appended", 42)
+	w.Counter("mscope_stalls_total", "stall events", 3)
+	f := w.GaugeFamily("mscope_source_rows", "per-source rows")
+	f.Label("file", "apache_access.log", 7)
+	f.Label("file", "mysql_slow.log", 9)
+	out := w.String()
+
+	want := []string{
+		"# HELP mscope_rows_total rows appended",
+		"# TYPE mscope_rows_total gauge",
+		"mscope_rows_total 42",
+		"# TYPE mscope_stalls_total counter",
+		"mscope_stalls_total 3",
+		`mscope_source_rows{file="apache_access.log"} 7`,
+		`mscope_source_rows{file="mysql_slow.log"} 9`,
+	}
+	for _, s := range want {
+		if !strings.Contains(out, s+"\n") {
+			t.Errorf("output missing line %q:\n%s", s, out)
+		}
+	}
+	if err := Lint(out); err != nil {
+		t.Errorf("Lint rejects Writer output: %v", err)
+	}
+}
+
+func TestWriterPanicsOnBadUse(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("missing prefix", func() {
+		var w Writer
+		w.Gauge("rows_total", "h", 1)
+	})
+	expectPanic("duplicate family", func() {
+		var w Writer
+		w.Gauge("mscope_x", "h", 1)
+		w.Gauge("mscope_x", "h", 2)
+	})
+	expectPanic("newline in help", func() {
+		var w Writer
+		w.Gauge("mscope_x", "a\nb", 1)
+	})
+}
+
+func TestLintRejections(t *testing.T) {
+	cases := []struct {
+		name, text, want string
+	}{
+		{"sample without header", "mscope_x 1\n", "undeclared"},
+		{"type without help", "# TYPE mscope_x gauge\nmscope_x 1\n", "without immediately preceding HELP"},
+		{"unprefixed sample", "# HELP other_x h\n# TYPE other_x gauge\nother_x 1\n", "prefix"},
+		{"duplicate family", "# HELP mscope_x h\n# TYPE mscope_x gauge\nmscope_x 1\n# HELP mscope_x h\n# TYPE mscope_x gauge\nmscope_x 2\n", "twice"},
+		{"interleaved families", "# HELP mscope_x h\n# TYPE mscope_x gauge\n# HELP mscope_y h\n# TYPE mscope_y gauge\nmscope_y 1\nmscope_x 1\n", "interleaves"},
+		{"header with no samples", "# HELP mscope_x h\n# TYPE mscope_x gauge\n", "no samples"},
+	}
+	for _, tc := range cases {
+		err := Lint(tc.text)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Lint = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -107,6 +107,29 @@ func Disable() *Collector {
 	return c
 }
 
+// NewCollector builds a standalone collector that is NOT installed as
+// the process-global one. Subsystems that need their telemetry
+// attributed to a specific node — several agents and a collector
+// sharing one test process, say — hold their own instance and open
+// spans with the collector-bound Begin. Counters stay global and are
+// not reset.
+func NewCollector(batch string, epoch time.Time) *Collector {
+	return &Collector{batch: batch, epoch: epoch, base: time.Now()}
+}
+
+// Begin opens a one-shot span on this collector, bypassing the global
+// gate. A nil receiver returns the inert zero Span, so call sites can
+// hold a nil *Collector when their telemetry is off.
+func (c *Collector) Begin(pipeline, stage, span, file string) Span {
+	if c == nil {
+		return Span{}
+	}
+	return Span{c: c, started: true, rec: Rec{
+		Kind: "span", Pipeline: pipeline, Stage: stage, Span: span,
+		File: file, StartNS: c.now(),
+	}}
+}
+
 // Enabled reports whether a collector is installed.
 func Enabled() bool { return active.Load() != nil }
 

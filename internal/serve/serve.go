@@ -1,0 +1,539 @@
+// Package serve is the mscope observability service: one HTTP surface
+// over a warehouse, whether that warehouse is a saved mScopeDB snapshot
+// (`mscope serve --db`) or the live engine's, borrowed between records
+// (`mscope live --serve`, `mscope collector --serve`). It answers MQL
+// and vectorized window-aggregation queries, renders per-request
+// waterfalls and critical-path flamegraphs, and exposes the diagnosis
+// timeline with each verdict's full evidence.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/gt-elba/milliscope/internal/core"
+	"github.com/gt-elba/milliscope/internal/mql"
+	"github.com/gt-elba/milliscope/internal/mscopedb"
+	"github.com/gt-elba/milliscope/internal/promfmt"
+	"github.com/gt-elba/milliscope/internal/stream"
+	"github.com/gt-elba/milliscope/internal/tracegraph"
+)
+
+// Config attaches the server to exactly one warehouse source.
+type Config struct {
+	// DB serves a saved warehouse snapshot (read-only, immutable).
+	DB *mscopedb.DB
+	// Pipeline serves a live engine's warehouse; every query borrows it
+	// between records through the pipeline's WithDB gate, so readers
+	// never race the loader.
+	Pipeline *stream.Pipeline
+	// Window is the diagnosis window width for /api/diagnosis in
+	// snapshot mode; defaults to 50ms.
+	Window time.Duration
+}
+
+// Server is the observability service. Build with New, mount Handler.
+type Server struct {
+	cfg     Config
+	queries atomic.Int64
+	renders atomic.Int64
+	errs    atomic.Int64
+	mux     *http.ServeMux
+}
+
+// New validates the config and builds the service.
+func New(cfg Config) (*Server, error) {
+	if (cfg.DB == nil) == (cfg.Pipeline == nil) {
+		return nil, fmt.Errorf("serve: attach exactly one of DB or Pipeline")
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 50 * time.Millisecond
+	}
+	s := &Server{cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	mux.HandleFunc("GET /api/tables", s.handleTables)
+	mux.HandleFunc("GET /api/query", s.handleQuery)
+	mux.HandleFunc("GET /api/window", s.handleWindow)
+	mux.HandleFunc("GET /api/traces", s.handleTraces)
+	mux.HandleFunc("GET /api/trace/{reqid}", s.handleTrace)
+	mux.HandleFunc("GET /api/flamegraph", s.handleFlameJSON)
+	mux.HandleFunc("GET /flamegraph.svg", s.handleFlameSVG)
+	mux.HandleFunc("GET /api/diagnosis", s.handleDiagnosis)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the service's routes.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// withDB runs fn with the warehouse: directly in snapshot mode, or
+// through the live pipeline's loader gate so fn never races an append.
+func (s *Server) withDB(fn func(*mscopedb.DB)) {
+	if s.cfg.Pipeline != nil {
+		s.cfg.Pipeline.WithDB(fn)
+		return
+	}
+	fn(s.cfg.DB)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+// fail renders one JSON error body and counts it.
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.errs.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// --- /api/tables -----------------------------------------------------
+
+type colInfo struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+type tableInfo struct {
+	Name    string    `json:"name"`
+	Rows    int       `json:"rows"`
+	Columns []colInfo `json:"columns"`
+}
+
+func (s *Server) tableInfos() []tableInfo {
+	var out []tableInfo
+	s.withDB(func(db *mscopedb.DB) {
+		for _, name := range db.TableNames() {
+			t, err := db.Table(name)
+			if err != nil {
+				continue
+			}
+			ti := tableInfo{Name: name, Rows: t.Rows()}
+			for _, c := range t.Columns() {
+				ti.Columns = append(ti.Columns, colInfo{Name: c.Name, Type: c.Type.String()})
+			}
+			out = append(out, ti)
+		}
+	})
+	return out
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	s.queries.Add(1)
+	writeJSON(w, s.tableInfos())
+}
+
+// --- /api/query ------------------------------------------------------
+
+type queryResult struct {
+	Cols []string   `json:"cols"`
+	Rows [][]string `json:"rows"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		s.fail(w, http.StatusBadRequest, "missing q parameter (an MQL statement)")
+		return
+	}
+	s.queries.Add(1)
+	var (
+		out *mql.Output
+		err error
+	)
+	s.withDB(func(db *mscopedb.DB) { out, err = mql.Run(db, q) })
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, queryResult{Cols: out.Cols, Rows: out.Rows})
+}
+
+// --- /api/window -----------------------------------------------------
+
+// parseAggFn resolves the fn parameter; empty means avg.
+func parseAggFn(name string) (mscopedb.AggFn, error) {
+	switch strings.ToLower(name) {
+	case "", "avg", "mean":
+		return mscopedb.AggAvg, nil
+	case "max":
+		return mscopedb.AggMax, nil
+	case "min":
+		return mscopedb.AggMin, nil
+	case "sum":
+		return mscopedb.AggSum, nil
+	case "count":
+		return mscopedb.AggCount, nil
+	case "p99":
+		return mscopedb.AggP99, nil
+	}
+	return 0, fmt.Errorf("unknown fn %q (want avg, max, min, sum, count, or p99)", name)
+}
+
+// handleWindow is the vectorized window-aggregation endpoint: it builds
+// the statement directly so the from/to bounds become time-column
+// predicates, which the scan engine prunes through the sorted time
+// index before the dense aggregation grid runs.
+func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
+	p := r.URL.Query()
+	table, value := p.Get("table"), p.Get("value")
+	if table == "" || value == "" {
+		s.fail(w, http.StatusBadRequest, "table and value parameters are required")
+		return
+	}
+	fn, err := parseAggFn(p.Get("fn"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	window := 50 * time.Millisecond
+	if ws := p.Get("window"); ws != "" {
+		window, err = time.ParseDuration(ws)
+		if err != nil || window <= 0 {
+			s.fail(w, http.StatusBadRequest, "bad window %q: want a positive duration like 50ms", ws)
+			return
+		}
+	}
+	timeCol := p.Get("time")
+	if timeCol == "" {
+		timeCol = "ltime"
+	}
+	st := &mql.Statement{
+		Table:    table,
+		Limit:    -1,
+		Windowed: true,
+		Window:   window,
+		AggFn:    fn,
+		AggCol:   value,
+		TimeCol:  timeCol,
+		GroupCol: p.Get("by"),
+	}
+	from, to := p.Get("from"), p.Get("to")
+	var fromUS, toUS int64
+	if from != "" {
+		if fromUS, err = strconv.ParseInt(from, 10, 64); err != nil {
+			s.fail(w, http.StatusBadRequest, "malformed time range: from=%q is not a microsecond epoch", from)
+			return
+		}
+		st.Preds = append(st.Preds, mql.Pred{Col: timeCol, Op: mscopedb.OpGe, Value: from})
+	}
+	if to != "" {
+		if toUS, err = strconv.ParseInt(to, 10, 64); err != nil {
+			s.fail(w, http.StatusBadRequest, "malformed time range: to=%q is not a microsecond epoch", to)
+			return
+		}
+		st.Preds = append(st.Preds, mql.Pred{Col: timeCol, Op: mscopedb.OpLt, Value: to})
+	}
+	if from != "" && to != "" && fromUS >= toUS {
+		s.fail(w, http.StatusBadRequest, "malformed time range: from %d is not before to %d", fromUS, toUS)
+		return
+	}
+	s.queries.Add(1)
+	var (
+		found bool
+		out   *mql.Output
+	)
+	s.withDB(func(db *mscopedb.DB) {
+		if found = db.HasTable(table); !found {
+			return
+		}
+		out, err = mql.Exec(db, st)
+	})
+	if !found {
+		s.fail(w, http.StatusNotFound, "no table %q in the warehouse", table)
+		return
+	}
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, queryResult{Cols: out.Cols, Rows: out.Rows})
+}
+
+// --- traces and flamegraphs ------------------------------------------
+
+// buildTraces reconstructs every request's causal path from whichever
+// standard event tables the warehouse holds.
+func (s *Server) buildTraces() (map[string]*tracegraph.Trace, error) {
+	tables := make([]string, len(core.Tiers))
+	for i, t := range core.Tiers {
+		tables[i] = t + "_event"
+	}
+	var (
+		traces map[string]*tracegraph.Trace
+		err    error
+	)
+	s.withDB(func(db *mscopedb.DB) {
+		traces, _, err = tracegraph.BuildPartial(db, tables)
+	})
+	return traces, err
+}
+
+type traceSummary struct {
+	ReqID    string  `json:"reqid"`
+	RTUS     int64   `json:"rt_us"`
+	Spans    int     `json:"spans"`
+	Complete bool    `json:"complete"`
+	Coverage float64 `json:"coverage"`
+}
+
+// slowestFirst flattens a trace set ordered by response time, slowest
+// first (ties broken by request ID for stable pagination).
+func slowestFirst(traces map[string]*tracegraph.Trace) []*tracegraph.Trace {
+	out := make([]*tracegraph.Trace, 0, len(traces))
+	for _, tr := range traces {
+		out = append(out, tr)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := out[i].ResponseTime(), out[j].ResponseTime()
+		if ri != rj {
+			return ri > rj
+		}
+		return out[i].ReqID < out[j].ReqID
+	})
+	return out
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	limit := 50
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n <= 0 {
+			s.fail(w, http.StatusBadRequest, "bad limit %q", ls)
+			return
+		}
+		limit = n
+	}
+	s.queries.Add(1)
+	traces, err := s.buildTraces()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	ordered := slowestFirst(traces)
+	if len(ordered) > limit {
+		ordered = ordered[:limit]
+	}
+	out := make([]traceSummary, 0, len(ordered))
+	for _, tr := range ordered {
+		out = append(out, traceSummary{
+			ReqID:    tr.ReqID,
+			RTUS:     tr.ResponseTime().Microseconds(),
+			Spans:    len(tr.Spans),
+			Complete: tr.Complete(),
+			Coverage: tr.Coverage(),
+		})
+	}
+	writeJSON(w, out)
+}
+
+// flameFor resolves a request ID (empty means the slowest request) to
+// its renderable flame.
+func (s *Server) flameFor(reqid string) (*tracegraph.Flame, int, error) {
+	traces, err := s.buildTraces()
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	if reqid == "" {
+		ordered := slowestFirst(traces)
+		if len(ordered) == 0 {
+			return nil, http.StatusNotFound, fmt.Errorf("no traces in the warehouse")
+		}
+		return tracegraph.BuildFlame(ordered[0]), 0, nil
+	}
+	tr, ok := traces[reqid]
+	if !ok {
+		return nil, http.StatusNotFound, fmt.Errorf("no trace for request %q", reqid)
+	}
+	return tracegraph.BuildFlame(tr), 0, nil
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.queries.Add(1)
+	f, code, err := s.flameFor(r.PathValue("reqid"))
+	if err != nil {
+		s.fail(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, f)
+}
+
+func (s *Server) handleFlameJSON(w http.ResponseWriter, r *http.Request) {
+	s.queries.Add(1)
+	f, code, err := s.flameFor(r.URL.Query().Get("reqid"))
+	if err != nil {
+		s.fail(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, f)
+}
+
+func (s *Server) handleFlameSVG(w http.ResponseWriter, r *http.Request) {
+	f, code, err := s.flameFor(r.URL.Query().Get("reqid"))
+	if err != nil {
+		s.fail(w, code, "%v", err)
+		return
+	}
+	s.renders.Add(1)
+	w.Header().Set("Content-Type", "image/svg+xml")
+	_ = f.WriteSVG(w)
+}
+
+// --- /api/diagnosis --------------------------------------------------
+
+type diagCause struct {
+	Name         string  `json:"name"`
+	Correlation  float64 `json:"correlation"`
+	PeakInWindow float64 `json:"peak_in_window"`
+}
+
+// diagEntry is one verdict with its full evidence: the window, the
+// cross-tier pushback signature, and every ranked resource candidate —
+// not just the winning kind.
+type diagEntry struct {
+	Raised      *time.Time  `json:"raised,omitempty"`
+	WatermarkUS int64       `json:"watermark_us,omitempty"`
+	StartUS     int64       `json:"window_start_us"`
+	EndUS       int64       `json:"window_end_us"`
+	PeakUS      float64     `json:"peak_rt_us"`
+	Kind        string      `json:"kind"`
+	Node        string      `json:"node"`
+	Verdict     string      `json:"verdict"`
+	QueuesGrew  []string    `json:"queues_grew,omitempty"`
+	CrossTier   bool        `json:"cross_tier"`
+	Causes      []diagCause `json:"causes,omitempty"`
+	Missing     []string    `json:"missing,omitempty"`
+}
+
+type diagTimeline struct {
+	Source  string      `json:"source"`
+	Entries []diagEntry `json:"entries"`
+}
+
+func diagFromWindow(wd core.WindowDiagnosis) diagEntry {
+	e := diagEntry{
+		StartUS:    wd.Window.StartMicros,
+		EndUS:      wd.Window.EndMicros,
+		PeakUS:     wd.Window.Peak,
+		Kind:       wd.Kind.String(),
+		Node:       wd.Node,
+		Verdict:    wd.Verdict,
+		QueuesGrew: wd.Pushback.Grew,
+		CrossTier:  wd.Pushback.CrossTier,
+	}
+	for _, c := range wd.Causes {
+		e.Causes = append(e.Causes, diagCause{
+			Name: c.Name, Correlation: c.Correlation, PeakInWindow: c.PeakInWindow,
+		})
+	}
+	return e
+}
+
+func (s *Server) handleDiagnosis(w http.ResponseWriter, r *http.Request) {
+	s.queries.Add(1)
+	if p := s.cfg.Pipeline; p != nil {
+		// Live mode: the online detector's alerts, evidence included.
+		tl := diagTimeline{Source: "live", Entries: []diagEntry{}}
+		for _, a := range p.Alerts() {
+			e := diagFromWindow(a.Diagnosis)
+			raised := a.Raised
+			e.Raised = &raised
+			e.WatermarkUS = a.WatermarkUS
+			e.Missing = a.Missing
+			tl.Entries = append(tl.Entries, e)
+		}
+		writeJSON(w, tl)
+		return
+	}
+	// Snapshot mode: run the batch workflow at the configured width.
+	var (
+		d   *core.Diagnosis
+		err error
+	)
+	s.withDB(func(db *mscopedb.DB) { d, err = core.Diagnose(db, s.cfg.Window) })
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "diagnosis: %v", err)
+		return
+	}
+	tl := diagTimeline{Source: "batch", Entries: []diagEntry{}}
+	for _, wd := range d.Windows {
+		e := diagFromWindow(wd)
+		e.Missing = d.MissingSources
+		tl.Entries = append(tl.Entries, e)
+	}
+	writeJSON(w, tl)
+}
+
+// --- readiness and metrics -------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	probes := map[string]bool{}
+	ok := true
+	if p := s.cfg.Pipeline; p != nil {
+		st := p.Status()
+		probes["warehouse"] = true
+		probes["detector"] = st.Running
+		ok = st.Running
+	} else {
+		probes["warehouse"] = s.cfg.DB != nil
+		ok = s.cfg.DB != nil
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !ok {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(struct {
+		OK     bool            `json:"ok"`
+		Probes map[string]bool `json:"probes"`
+	}{OK: ok, Probes: probes})
+}
+
+// MetricsText renders the serve surface's own families through the
+// shared promfmt writer. In live mode the engine's families come first —
+// both sides use promfmt, so the concatenation still lints.
+func (s *Server) MetricsText() string {
+	tables, rows := 0, 0
+	s.withDB(func(db *mscopedb.DB) {
+		for _, name := range db.TableNames() {
+			if t, err := db.Table(name); err == nil {
+				tables++
+				rows += t.Rows()
+			}
+		}
+	})
+	var w promfmt.Writer
+	w.Counter(promfmt.Prefix+"serve_queries_total",
+		"query and render requests answered", float64(s.queries.Load()))
+	w.Counter(promfmt.Prefix+"serve_renders_total",
+		"flamegraph SVGs rendered", float64(s.renders.Load()))
+	w.Counter(promfmt.Prefix+"serve_errors_total",
+		"requests answered with an error status", float64(s.errs.Load()))
+	w.Gauge(promfmt.Prefix+"serve_tables",
+		"tables in the attached warehouse", float64(tables))
+	w.Gauge(promfmt.Prefix+"serve_rows",
+		"rows across the attached warehouse", float64(rows))
+	if p := s.cfg.Pipeline; p != nil {
+		return p.MetricsText() + w.String()
+	}
+	return w.String()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write([]byte(s.MetricsText()))
+}

@@ -2,10 +2,10 @@ package stream
 
 import (
 	"encoding/json"
-	"fmt"
 	"net/http"
-	"strings"
 	"time"
+
+	"github.com/gt-elba/milliscope/internal/promfmt"
 )
 
 // SourceStatus is one tailed file's live state.
@@ -161,13 +161,13 @@ func viewAlert(a Alert) alertView {
 	}
 }
 
-// MetricsText renders the pipeline gauges in Prometheus exposition format.
+// MetricsText renders the pipeline gauges in Prometheus exposition
+// format, through the shared promfmt writer every mscope surface uses.
 func (p *Pipeline) MetricsText() string {
 	st := p.Status()
-	var b strings.Builder
+	var w promfmt.Writer
 	g := func(name string, v float64, help string) {
-		fmt.Fprintf(&b, "# HELP mscope_%s %s\n# TYPE mscope_%s gauge\nmscope_%s %g\n",
-			name, help, name, name, v)
+		w.Gauge(promfmt.Prefix+name, help, v)
 	}
 	g("rows_total", float64(st.Rows), "warehouse rows appended this session")
 	g("rows_per_sec", st.RowsPerSec, "mean append throughput")
@@ -177,8 +177,7 @@ func (p *Pipeline) MetricsText() string {
 	g("pipeline_lag_us", float64(st.LagUS), "event-time spread between fastest source and watermark")
 	g("queued_records", float64(st.Queued), "records buffered between parsers and loader")
 	c := func(name string, v float64, help string) {
-		fmt.Fprintf(&b, "# HELP mscope_%s %s\n# TYPE mscope_%s counter\nmscope_%s %g\n",
-			name, help, name, name, v)
+		w.Counter(promfmt.Prefix+name, help, v)
 	}
 	c("backpressure_stalls_total", float64(st.Stalls),
 		"times a parser found the record channel full and waited for the loader")
@@ -211,9 +210,14 @@ func (p *Pipeline) MetricsText() string {
 		if len(st.Sources) == 0 {
 			return
 		}
-		fmt.Fprintf(&b, "# HELP mscope_%s %s\n# TYPE mscope_%s %s\n", name, help, name, typ)
+		var f *promfmt.Family
+		if typ == "gauge" {
+			f = w.GaugeFamily(promfmt.Prefix+name, help)
+		} else {
+			f = w.CounterFamily(promfmt.Prefix+name, help)
+		}
 		for _, s := range st.Sources {
-			fmt.Fprintf(&b, "mscope_%s{file=%q} %d\n", name, s.File, value(s))
+			f.Label("file", s.File, float64(value(s)))
 		}
 	}
 	family("source_offset_bytes", "gauge", "bytes of the source consumed by the tailer",
@@ -224,7 +228,35 @@ func (p *Pipeline) MetricsText() string {
 		func(s SourceStatus) int64 { return s.Quarantined })
 	family("source_parse_errors_total", "counter", "unrecoverable parser failures on the source",
 		func(s SourceStatus) int64 { return s.ParseErrors })
-	return b.String()
+	return w.String()
+}
+
+// Healthz writes the pipeline's readiness: 200 while the engine is
+// running (warehouse attached, detector live), 503 once stopped or
+// before Start. The body is JSON so callers can see which probe failed.
+func (p *Pipeline) Healthz(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	running := p.running && !p.stopped
+	p.mu.Unlock()
+	writeHealth(w, map[string]bool{
+		"warehouse": p.db != nil,
+		"detector":  running,
+	}, running && p.db != nil)
+}
+
+// writeHealth renders one readiness body: every probe with its state,
+// HTTP 200 iff all hold.
+func writeHealth(w http.ResponseWriter, probes map[string]bool, ok bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if !ok {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(struct {
+		OK     bool            `json:"ok"`
+		Probes map[string]bool `json:"probes"`
+	}{OK: ok, Probes: probes})
 }
 
 // Handler serves the live endpoints: /status and /alerts as JSON,
@@ -252,5 +284,6 @@ func (p *Pipeline) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_, _ = w.Write([]byte(p.MetricsText()))
 	})
+	mux.HandleFunc("/healthz", p.Healthz)
 	return mux
 }

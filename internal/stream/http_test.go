@@ -4,6 +4,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"github.com/gt-elba/milliscope/internal/promfmt"
 )
 
 // drainedPipeline runs the live pipeline to completion over the shared
@@ -29,6 +31,12 @@ func drainedPipeline(t *testing.T) *Pipeline {
 func TestMetricsExpositionConformance(t *testing.T) {
 	p := drainedPipeline(t)
 	text := p.MetricsText()
+
+	// The shared linter holds every surface to the same discipline; the
+	// hand-rolled checks below pin the specific family set.
+	if err := promfmt.Lint(text); err != nil {
+		t.Errorf("promfmt.Lint: %v", err)
+	}
 
 	helpSeen := map[string]int{}
 	typeSeen := map[string]int{}
@@ -103,6 +111,40 @@ func TestMetricsExpositionConformance(t *testing.T) {
 		if samples[fam] != 1 {
 			t.Errorf("%s has %d samples, want exactly 1", fam, samples[fam])
 		}
+	}
+}
+
+// TestHealthzReadiness: the pipeline's /healthz holds 200 while the
+// engine runs and flips to 503 once it stops — the probe orchestrators
+// poll before routing traffic at the serve layer.
+func TestHealthzReadiness(t *testing.T) {
+	p, err := New(Config{LogDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := p.Handler()
+	get := func() int {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+		return rec.Code
+	}
+	if code := get(); code != 503 {
+		t.Errorf("/healthz before Start: %d, want 503", code)
+	}
+	p.Start()
+	if code := get(); code != 200 {
+		t.Errorf("/healthz while running: %d, want 200", code)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if code := get(); code != 503 {
+		t.Errorf("/healthz after Stop: %d, want 503", code)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if body := rec.Body.String(); !strings.Contains(body, `"probes"`) || !strings.Contains(body, `"detector"`) {
+		t.Errorf("/healthz body lacks probe detail: %s", body)
 	}
 }
 

@@ -137,6 +137,7 @@ type Pipeline struct {
 	fid *fidelityRun // nil when fidelity is off
 
 	recs     chan rec
+	dbReqs   chan func(*mscopedb.DB)
 	stopCh   chan struct{}
 	loadDone chan struct{}
 	parserWG sync.WaitGroup
@@ -171,6 +172,7 @@ func New(cfg Config) (*Pipeline, error) {
 		wm:       NewWatermark(c.Skew.Microseconds()),
 		det:      newDetector(c.DB, c.Window, c.Grace),
 		recs:     make(chan rec, c.ChannelCap),
+		dbReqs:   make(chan func(*mscopedb.DB)),
 		stopCh:   make(chan struct{}),
 		loadDone: make(chan struct{}),
 		byPath:   make(map[string]*source),
@@ -186,8 +188,29 @@ func New(cfg Config) (*Pipeline, error) {
 }
 
 // DB returns the warehouse the pipeline loads. Only touch it after Stop:
-// during the run it belongs to the loader goroutine.
+// during the run it belongs to the loader goroutine — use WithDB for
+// mid-run access.
 func (p *Pipeline) DB() *mscopedb.DB { return p.db }
+
+// WithDB runs fn with exclusive access to the warehouse and blocks
+// until it returns. While the pipeline runs, fn executes on the loader
+// goroutine between records — ingest pauses for exactly the query's
+// duration, and fn sees a consistent snapshot with no appender racing
+// it. After the loader exits (Stop, or a remote drain) fn runs on the
+// caller. This is what lets `mscope serve` query a live warehouse.
+func (p *Pipeline) WithDB(fn func(db *mscopedb.DB)) {
+	done := make(chan struct{})
+	wrapped := func(db *mscopedb.DB) {
+		defer close(done)
+		fn(db)
+	}
+	select {
+	case p.dbReqs <- wrapped:
+		<-done
+	case <-p.loadDone:
+		fn(p.db)
+	}
+}
 
 // Start launches the pipeline goroutines.
 func (p *Pipeline) Start() {
@@ -496,10 +519,20 @@ func (p *Pipeline) loader() {
 	p.loaderObs = obs
 	defer func() { p.loaderObs = nil }()
 	var lastLow int64
-	for r := range p.recs {
-		p.processRec(r, obs, &lastLow)
-		if r.done != nil {
-			r.done()
+load:
+	for {
+		select {
+		case r, ok := <-p.recs:
+			if !ok {
+				break load
+			}
+			p.processRec(r, obs, &lastLow)
+			if r.done != nil {
+				r.done()
+			}
+		case fn := <-p.dbReqs:
+			// A WithDB caller borrows the warehouse between records.
+			fn(p.db)
 		}
 	}
 	// Channel closed: every parser is done. Classify the remainder with

@@ -25,14 +25,17 @@ const (
 
 // Streamable reports whether the live pipeline tails a file: it must have
 // a Parsing Declaration binding, and its format must carry per-record
-// event times the watermark can track (the four event logs and the
-// collectl CSVs — exactly the evidence the diagnosis consumes).
+// event times the watermark can track (the four event logs, the collectl
+// CSVs — exactly the evidence the diagnosis consumes — and the selfobs
+// span logs, which is what lets distributed agents ship their own
+// telemetry to the collector as just another source).
 func Streamable(plan *transform.Plan, name string) bool {
 	b, ok := plan.Find(name)
 	if !ok {
 		return false
 	}
-	return b.TableSuffix == "event" || b.TableSuffix == "collectlcsv"
+	return b.TableSuffix == "event" || b.TableSuffix == "collectlcsv" ||
+		b.TableSuffix == "selftrace"
 }
 
 // source is one tailed file: its tailer, parser, target table, and

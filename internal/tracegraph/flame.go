@@ -1,0 +1,223 @@
+package tracegraph
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"sort"
+)
+
+// Frame is one box in a request's critical-path flamegraph: a tier visit
+// laid out on a shared time axis (x) and nested by tier depth (y). All
+// times are microseconds relative to the earliest user-arrival in the
+// trace, so frames from different nodes line up even though each span's
+// raw timestamps are on its own node's clock.
+type Frame struct {
+	Tier    string `json:"tier"`
+	Seq     int    `json:"seq"`
+	Depth   int    `json:"depth"`
+	StartUS int64  `json:"start_us"`
+	EndUS   int64  `json:"end_us"`
+	// SelfUS is the frame's critical-path contribution: residence minus
+	// the union of its children's residences — time this tier was the
+	// deepest one actively holding the request.
+	SelfUS int64 `json:"self_us"`
+	// Share is SelfUS over the trace's total response time.
+	Share float64 `json:"share"`
+}
+
+// Flame is the renderable form of one trace: the waterfall/flamegraph
+// data model served as JSON and drawn as SVG.
+type Flame struct {
+	ReqID   string `json:"reqid"`
+	TotalUS int64  `json:"total_us"`
+	// CriticalUS sums SelfUS across frames: response time attributable to
+	// some tier's processing. The remainder is wire latency and queueing
+	// between tiers.
+	CriticalUS int64   `json:"critical_us"`
+	Frames     []Frame `json:"frames"`
+}
+
+// ival is a half-open busy interval [lo, hi) in microseconds.
+type ival struct{ lo, hi int64 }
+
+// mergeIvals coalesces overlapping intervals in place and returns the
+// merged, sorted set.
+func mergeIvals(ivs []ival) []ival {
+	if len(ivs) < 2 {
+		return ivs
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.lo <= last.hi {
+			if iv.hi > last.hi {
+				last.hi = iv.hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// uncoveredUS returns the length of [lo, hi) not covered by the merged
+// interval set.
+func uncoveredUS(lo, hi int64, covered []ival) int64 {
+	self := hi - lo
+	for _, iv := range covered {
+		l, h := iv.lo, iv.hi
+		if l < lo {
+			l = lo
+		}
+		if h > hi {
+			h = hi
+		}
+		if h > l {
+			self -= h - l
+		}
+	}
+	if self < 0 {
+		self = 0
+	}
+	return self
+}
+
+// BuildFlame lays a reconstructed trace out for rendering. Depth is the
+// tier's position along the causal path (order of first appearance in
+// the trace's depth-sorted spans); each frame's self time subtracts the
+// union of the next tier's residences that overlap it, so a parent
+// overlapped by several interleaved child queries is only charged for
+// the gaps — the busy-interval union discipline the fleet self-trace
+// breakdown uses, applied per request.
+func BuildFlame(tr *Trace) *Flame {
+	f := &Flame{ReqID: tr.ReqID}
+	if len(tr.Spans) == 0 {
+		return f
+	}
+	depthOf := make(map[string]int)
+	for _, s := range tr.Spans {
+		if _, ok := depthOf[s.Tier]; !ok {
+			depthOf[s.Tier] = len(depthOf)
+		}
+	}
+	// Cross-node skew can put a child's arrival before the front tier's:
+	// anchor the axis at the earliest arrival anywhere in the trace.
+	origin := tr.Spans[0].UA
+	end := tr.Spans[0].UD
+	for _, s := range tr.Spans[1:] {
+		if s.UA < origin {
+			origin = s.UA
+		}
+		if s.UD > end {
+			end = s.UD
+		}
+	}
+	f.TotalUS = end - origin
+	byDepth := make(map[int][]ival)
+	for _, s := range tr.Spans {
+		d := depthOf[s.Tier]
+		byDepth[d] = append(byDepth[d], ival{s.UA - origin, s.UD - origin})
+	}
+	for d := range byDepth {
+		byDepth[d] = mergeIvals(byDepth[d])
+	}
+	for _, s := range tr.Spans {
+		d := depthOf[s.Tier]
+		fr := Frame{
+			Tier:    s.Tier,
+			Seq:     s.Seq,
+			Depth:   d,
+			StartUS: s.UA - origin,
+			EndUS:   s.UD - origin,
+		}
+		fr.SelfUS = uncoveredUS(fr.StartUS, fr.EndUS, byDepth[d+1])
+		if f.TotalUS > 0 {
+			fr.Share = float64(fr.SelfUS) / float64(f.TotalUS)
+		}
+		f.CriticalUS += fr.SelfUS
+		f.Frames = append(f.Frames, fr)
+	}
+	sort.Slice(f.Frames, func(i, j int) bool {
+		if f.Frames[i].Depth != f.Frames[j].Depth {
+			return f.Frames[i].Depth < f.Frames[j].Depth
+		}
+		return f.Frames[i].StartUS < f.Frames[j].StartUS
+	})
+	return f
+}
+
+// tierPalette is a fixed set of fills so the same tier keeps its color
+// across requests and renders.
+var tierPalette = []string{
+	"#e4584b", "#f0a04b", "#e8c547", "#7fb069", "#5b9bd5", "#9b7ebd",
+}
+
+func tierFill(depth int) string {
+	return tierPalette[depth%len(tierPalette)]
+}
+
+// WriteSVG draws the flame as a self-contained SVG: no scripts, no
+// external assets, one <rect> per frame with a <title> tooltip carrying
+// the exact numbers. Renders a placeholder banner for empty traces so
+// callers can serve the output unconditionally.
+func (f *Flame) WriteSVG(w io.Writer) error {
+	const (
+		width  = 1000.0
+		rowH   = 26
+		pad    = 4
+		header = 28
+	)
+	maxDepth := 0
+	for _, fr := range f.Frames {
+		if fr.Depth > maxDepth {
+			maxDepth = fr.Depth
+		}
+	}
+	height := header + (maxDepth+1)*rowH + pad
+	if len(f.Frames) == 0 {
+		height = header + rowH
+	}
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n",
+		int(width)+2*pad, height)
+	p(`<style>rect:hover{stroke:#000;stroke-width:1}</style>` + "\n")
+	p(`<text x="%d" y="18" font-size="13">req %s — %.3f ms total, %.3f ms on the critical path</text>`+"\n",
+		pad, html.EscapeString(f.ReqID), float64(f.TotalUS)/1000, float64(f.CriticalUS)/1000)
+	if len(f.Frames) == 0 {
+		p(`<text x="%d" y="%d" fill="#888">no spans reconstructed for this request</text>`+"\n", pad, header+16)
+		p("</svg>\n")
+		return err
+	}
+	scale := width / float64(f.TotalUS)
+	if f.TotalUS == 0 {
+		scale = 0
+	}
+	for _, fr := range f.Frames {
+		x := float64(pad) + float64(fr.StartUS)*scale
+		wpx := float64(fr.EndUS-fr.StartUS) * scale
+		if wpx < 1 {
+			wpx = 1
+		}
+		y := header + fr.Depth*rowH
+		label := fmt.Sprintf("%s#%d", fr.Tier, fr.Seq)
+		p(`<g><rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" rx="2"/>`,
+			x, y, wpx, rowH-3, tierFill(fr.Depth))
+		p(`<title>%s: %.3f ms residence, %.3f ms self (%.1f%% of response)</title>`,
+			html.EscapeString(label),
+			float64(fr.EndUS-fr.StartUS)/1000, float64(fr.SelfUS)/1000, fr.Share*100)
+		// Only label boxes wide enough to hold text; tooltips carry the rest.
+		if wpx > float64(7*len(label)) {
+			p(`<text x="%.1f" y="%d" fill="#222">%s</text>`, x+3, y+15, html.EscapeString(label))
+		}
+		p("</g>\n")
+	}
+	p("</svg>\n")
+	return err
+}

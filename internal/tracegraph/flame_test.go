@@ -1,0 +1,153 @@
+package tracegraph
+
+import (
+	"strings"
+	"testing"
+)
+
+// threeTierTrace: apache [0,1000] calls tomcat [100,900] which issues
+// two mysql queries [200,400] and [500,700].
+func threeTierTrace() *Trace {
+	return &Trace{
+		ReqID: "r1",
+		Spans: []Span{
+			{Tier: "apache", Seq: 0, UA: 10000, UD: 11000, DS: 10100, DR: 10900},
+			{Tier: "tomcat", Seq: 0, UA: 10100, UD: 10900, DS: 10200, DR: 10700},
+			{Tier: "mysql", Seq: 1, UA: 10200, UD: 10400},
+			{Tier: "mysql", Seq: 2, UA: 10500, UD: 10700},
+		},
+	}
+}
+
+func TestBuildFlameSelfTimes(t *testing.T) {
+	f := BuildFlame(threeTierTrace())
+	if f.TotalUS != 1000 {
+		t.Fatalf("TotalUS = %d, want 1000", f.TotalUS)
+	}
+	self := map[string]int64{}
+	for _, fr := range f.Frames {
+		self[fr.Tier] += fr.SelfUS
+	}
+	// apache holds [0,1000] minus tomcat [100,900] = 200; tomcat holds
+	// [100,900] minus the two mysql visits (400us) = 400; mysql keeps its
+	// full 400 (deepest tier).
+	for tier, want := range map[string]int64{"apache": 200, "tomcat": 400, "mysql": 400} {
+		if self[tier] != want {
+			t.Errorf("%s SelfUS = %d, want %d", tier, self[tier], want)
+		}
+	}
+	if f.CriticalUS != 1000 {
+		t.Errorf("CriticalUS = %d, want 1000 (fully covered response)", f.CriticalUS)
+	}
+	// Depth follows causal order, start times are origin-relative.
+	depth := map[string]int{}
+	for _, fr := range f.Frames {
+		depth[fr.Tier] = fr.Depth
+	}
+	if depth["apache"] != 0 || depth["tomcat"] != 1 || depth["mysql"] != 2 {
+		t.Errorf("depths = %v, want apache:0 tomcat:1 mysql:2", depth)
+	}
+	if f.Frames[0].StartUS != 0 {
+		t.Errorf("front frame StartUS = %d, want 0", f.Frames[0].StartUS)
+	}
+}
+
+func TestBuildFlameWireGap(t *testing.T) {
+	// 100us of wire latency each way between apache and tomcat: the child
+	// only covers [200,800], so CriticalUS < TotalUS and the gap is the
+	// uncharged remainder.
+	tr := &Trace{ReqID: "r2", Spans: []Span{
+		{Tier: "apache", Seq: 0, UA: 0, UD: 1000, DS: 100, DR: 900},
+		{Tier: "tomcat", Seq: 0, UA: 200, UD: 800},
+	}}
+	f := BuildFlame(tr)
+	var apache int64
+	for _, fr := range f.Frames {
+		if fr.Tier == "apache" {
+			apache = fr.SelfUS
+		}
+	}
+	// apache self: [0,1000] minus tomcat [200,800] = 400 — wire time stays
+	// charged to the parent that was waiting through it.
+	if apache != 400 {
+		t.Errorf("apache SelfUS = %d, want 400", apache)
+	}
+	if f.CriticalUS != 1000 {
+		t.Errorf("CriticalUS = %d, want 1000", f.CriticalUS)
+	}
+}
+
+func TestBuildFlameSkewedChild(t *testing.T) {
+	// Clock skew puts the child's arrival before the parent's: the axis
+	// re-anchors at the earliest arrival and no frame goes negative.
+	tr := &Trace{ReqID: "r3", Spans: []Span{
+		{Tier: "apache", Seq: 0, UA: 100, UD: 1000},
+		{Tier: "tomcat", Seq: 0, UA: 40, UD: 900},
+	}}
+	f := BuildFlame(tr)
+	for _, fr := range f.Frames {
+		if fr.StartUS < 0 {
+			t.Errorf("%s StartUS = %d, want >= 0", fr.Tier, fr.StartUS)
+		}
+	}
+	if f.TotalUS != 960 {
+		t.Errorf("TotalUS = %d, want 960 (earliest UA to latest UD)", f.TotalUS)
+	}
+}
+
+func TestBuildFlameEmpty(t *testing.T) {
+	f := BuildFlame(&Trace{ReqID: "r0"})
+	if f.TotalUS != 0 || len(f.Frames) != 0 {
+		t.Fatalf("empty trace: %+v", f)
+	}
+	var sb strings.Builder
+	if err := f.WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no spans") {
+		t.Error("empty-trace SVG lacks the placeholder banner")
+	}
+}
+
+func TestWriteSVGSelfContained(t *testing.T) {
+	var sb strings.Builder
+	if err := BuildFlame(threeTierTrace()).WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	svg := sb.String()
+	if !strings.HasPrefix(svg, `<svg xmlns="http://www.w3.org/2000/svg"`) {
+		t.Error("output is not a standalone SVG document")
+	}
+	if !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Error("SVG not closed")
+	}
+	for _, want := range []string{"apache#0", "tomcat#0", "<title>", "critical path"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	for _, banned := range []string{"<script", "http://", "https://"} {
+		// the xmlns namespace URI is the one allowed absolute reference
+		if n := strings.Count(svg, banned); banned == "http://" && n == 1 {
+			continue
+		} else if strings.Contains(svg, banned) {
+			t.Errorf("SVG contains %q; must be self-contained and inert", banned)
+		}
+	}
+}
+
+func TestMergeIvals(t *testing.T) {
+	got := mergeIvals([]ival{{5, 7}, {0, 2}, {1, 3}, {6, 9}})
+	want := []ival{{0, 3}, {5, 9}}
+	if len(got) != len(want) {
+		t.Fatalf("merged to %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged to %v, want %v", got, want)
+		}
+	}
+	if n := uncoveredUS(0, 10, got); n != 3 {
+		t.Errorf("uncoveredUS = %d, want 3 ([3,5) and [9,10))", n)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"github.com/gt-elba/milliscope/internal/report"
 	"github.com/gt-elba/milliscope/internal/scenario"
 	"github.com/gt-elba/milliscope/internal/selfobs"
+	"github.com/gt-elba/milliscope/internal/serve"
 	"github.com/gt-elba/milliscope/internal/stream"
 	"github.com/gt-elba/milliscope/internal/tracegraph"
 	"github.com/gt-elba/milliscope/internal/transform"
@@ -485,6 +486,62 @@ func SelfTraceBreakdown(db *DB) ([]SelfTraceBatch, error) { return core.SelfTrac
 // RenderSelfTrace prints per-batch critical-path tables for human eyes.
 func RenderSelfTrace(w io.Writer, batches []SelfTraceBatch) error {
 	return core.RenderSelfTrace(w, batches)
+}
+
+// Fleet-wide self-telemetry: when agents and the collector run with
+// SelfTrace enabled, every node ships its own spans over the same wire
+// protocol as the monitor logs, and the collector's warehouse holds one
+// *_selftrace table per node.
+type (
+	// FleetSelfTrace is the cross-node per-batch critical path: every
+	// node's spans merged on one absolute time axis with node attribution.
+	FleetSelfTrace = core.FleetSelfTrace
+	// FleetSelfTraceStage is one (node, pipeline, stage) aggregate.
+	FleetSelfTraceStage = core.FleetStage
+)
+
+// FleetSelfTraceBreakdown merges every node's *_selftrace table into one
+// fleet-wide critical path. Returns (nil, nil) when the warehouse holds
+// no self-telemetry.
+func FleetSelfTraceBreakdown(db *DB) (*FleetSelfTrace, error) {
+	return core.FleetSelfTraceBreakdown(db)
+}
+
+// RenderFleetSelfTrace prints the fleet-wide breakdown for human eyes.
+func RenderFleetSelfTrace(w io.Writer, ft *FleetSelfTrace) error {
+	return core.RenderFleetSelfTrace(w, ft)
+}
+
+// Flamegraph rendering: the per-request waterfall/critical-path data
+// model behind `mscope serve` (internal/tracegraph).
+type (
+	// TraceFlame is one request laid out for rendering: frames on a
+	// shared time axis, nested by tier depth, each charged its
+	// critical-path self time.
+	TraceFlame = tracegraph.Flame
+	// TraceFrame is one box of a TraceFlame.
+	TraceFrame = tracegraph.Frame
+)
+
+// BuildFlame lays one reconstructed trace out as a flamegraph; render it
+// with (*TraceFlame).WriteSVG or serve it as JSON.
+func BuildFlame(tr *Trace) *TraceFlame { return tracegraph.BuildFlame(tr) }
+
+// Observability service (internal/serve): the HTTP surface behind
+// `mscope serve`, attachable to a saved warehouse or a live pipeline.
+type (
+	// ServeConfig attaches the service to exactly one warehouse source.
+	ServeConfig = serve.Config
+	// ObservabilityServer answers MQL and window-aggregation queries,
+	// renders waterfalls and critical-path flamegraphs, and exposes the
+	// diagnosis timeline with full evidence.
+	ObservabilityServer = serve.Server
+)
+
+// NewObservabilityServer validates the config and builds the service;
+// mount its Handler on a listener.
+func NewObservabilityServer(cfg ServeConfig) (*ObservabilityServer, error) {
+	return serve.New(cfg)
 }
 
 // Distributed deployment: per-node agents tail and parse their own
