@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet selfobs-lint test test-short race race-short bench bench-check overhead-check fidelity-check overload-soak dist-soak scenario-soak serve-smoke profile-ingest cover fuzz chaos live-smoke experiment clean
+.PHONY: all build vet selfobs-lint test test-short race race-short bench bench-check overhead-check fidelity-check overload-soak dist-soak scenario-soak db-soak serve-smoke profile-ingest cover fuzz chaos live-smoke experiment clean
 
-all: build vet selfobs-lint race-short live-smoke serve-smoke test bench-check overhead-check fidelity-check overload-soak dist-soak scenario-soak
+all: build vet selfobs-lint race-short live-smoke serve-smoke test bench-check overhead-check fidelity-check overload-soak dist-soak scenario-soak db-soak
 
 build:
 	$(GO) build ./...
@@ -40,11 +40,17 @@ bench:
 # it. The per-format parser microbenchmarks are gated by the
 # BENCH_parsers.json per-line budgets, and BENCH_query.json pins absolute
 # interactive-latency ceilings on the serve window-aggregation and
-# flamegraph-render endpoints.
+# flamegraph-render endpoints. BENCH_db.json budgets the segment store:
+# bytes_on_disk_per_row must stay under the legacy gob image, and a 1s
+# window query over a 12-segment corpus must decode only the overlapping
+# segments (pruning counters are deterministic and gate hard).
 bench-check:
-	$(GO) test -run xxx -bench 'BenchmarkIngestBatch|BenchmarkIngestParallel|BenchmarkIngestStreaming' \
+	$(GO) test -run xxx -bench 'BenchmarkIngestBatch|BenchmarkIngestParallel|BenchmarkIngestWorkers|BenchmarkIngestStreaming' \
 		-benchtime 5x -benchmem . 2>&1 | tee bench_output.txt
 	$(GO) run ./cmd/benchcheck --input bench_output.txt BENCH_ingest.json BENCH_stream.json
+	$(GO) test -run xxx -bench 'BenchmarkSegmentSpill|BenchmarkSpilledWindowQuery' \
+		-benchtime 5x -benchmem ./internal/mscopedb/ 2>&1 | tee db_bench_output.txt
+	$(GO) run ./cmd/benchcheck --input db_bench_output.txt BENCH_db.json
 	$(GO) test -run xxx -bench BenchmarkParseLine -benchtime 100x ./internal/parsers/ 2>&1 | tee parser_bench_output.txt
 	$(GO) run ./cmd/benchcheck --input parser_bench_output.txt BENCH_parsers.json
 	$(GO) test -run xxx -bench BenchmarkIngestDistributed -benchtime 5x -benchmem . 2>&1 | tee dist_bench_output.txt
@@ -96,6 +102,14 @@ dist-soak:
 # verdict both offline and online. Per-scenario timing is printed.
 scenario-soak:
 	$(GO) run -race ./cmd/mscope scenario verify --all --live
+
+# Durable-warehouse soak under the race detector: a 15s trial ingested
+# into a spill-enabled warehouse sized so every event table holds >= 10x
+# its RAM budget on disk, killed mid-ingest and mid-compaction, reopened,
+# resumed, compacted — and the result must stay cell-identical (and
+# diagnose-identical) to a pure in-memory ingest of the same logs.
+db-soak:
+	MSCOPE_DB_SOAK=1 $(GO) test -race -run TestDBSoak -v -timeout 15m ./internal/scenario/
 
 # Profile the serial batch ingest: writes CPU and allocation profiles of
 # BenchmarkIngestBatch for `go tool pprof`. This is the loop the

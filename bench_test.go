@@ -11,6 +11,7 @@ package milliscope_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -779,6 +780,42 @@ func BenchmarkIngestParallel(b *testing.B) {
 	}
 	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkIngestWorkers pins the worker-count scaling curve of the
+// sharded engine over the same corpus at --workers of 1, 2 and 4. On a
+// single-CPU host (this repo's CI container) the curve is expected to be
+// flat-to-slightly-positive: extra workers cannot add cycles, they only
+// overlap file I/O with parsing, so the value of the curve is catching
+// regressions where added coordination makes w=4 *slower* than w=1.
+func BenchmarkIngestWorkers(b *testing.B) {
+	logs := logCorpus(b)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("w=%d", workers), func(b *testing.B) {
+			var rows int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				work := tmp(b, "workers-work")
+				b.StartTimer()
+				db := milliscope.OpenDB()
+				rep, err := milliscope.IngestDirWithOptions(db, logs, work, milliscope.DefaultPlan(),
+					milliscope.IngestOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = rep.TotalRows()
+				b.StopTimer()
+				os.RemoveAll(work)
+				b.StartTimer()
+			}
+			if rows == 0 {
+				b.Fatal("ingest loaded nothing")
+			}
+			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+			b.ReportMetric(float64(rows), "rows")
+		})
+	}
 }
 
 // BenchmarkIngestStreaming measures the live pipeline over the same corpus:

@@ -79,10 +79,12 @@ func (b *baseline) UnmarshalJSON(data []byte) error {
 // checkedMetrics maps a baseline metric key to its direction: true means
 // lower is better (time), false means higher is better (throughput).
 var checkedMetrics = map[string]bool{
-	"ns_per_op":          true,
-	"allocs_per_op":      true,
-	"rows_per_sec":       false,
-	"wire_bytes_per_row": true,
+	"ns_per_op":             true,
+	"allocs_per_op":         true,
+	"rows_per_sec":          false,
+	"wire_bytes_per_row":    true,
+	"bytes_on_disk_per_row": true,
+	"speedup_x":             false,
 }
 
 // unitToKey maps a `go test -bench` unit to the baseline metric key.
@@ -100,6 +102,13 @@ var unitToKey = map[string]string{
 	"ns/line":         "ns_per_line",
 	"B/line":          "bytes_per_line",
 	"allocs/line":     "allocs_per_line",
+	"disk_B/row":      "bytes_on_disk_per_row",
+	"gob_B/row":       "gob_bytes_per_row",
+	"gob_over_seg_x":  "gob_over_seg_x",
+	"speedup_x":       "speedup_x",
+	"segments":        "segments",
+	"segs_scanned/op": "segs_scanned_per_op",
+	"segs_pruned/op":  "segs_pruned_per_op",
 }
 
 // parseBenchOutput extracts value/unit pairs from benchmark result lines:

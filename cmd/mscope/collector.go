@@ -25,6 +25,8 @@ func cmdCollector(args []string) error {
 	network := fs.String("network", "tcp", "listen network: tcp | unix")
 	token := fs.String("token", "", "shared authentication token")
 	dbPath := fs.String("db", "", "warehouse file: loaded if present (resume), saved on exit")
+	spillDir := fs.String("spill-dir", "",
+		"segment-store directory: spill full segments to disk during fleet ingest (resumes from its last checkpoint)")
 	window := fs.Duration("window", 50*time.Millisecond, "detector window width")
 	grace := fs.Duration("grace", 0, "classification grace past the watermark (default 2s)")
 	budget := fs.Float64("budget", 0, "quarantine error budget per source (0 = default 5%)")
@@ -46,7 +48,14 @@ func cmdCollector(args []string) error {
 	}
 
 	var db *milliscope.DB
-	if *dbPath != "" {
+	if *spillDir != "" {
+		var err error
+		db, err = milliscope.OpenDBDir(*spillDir, milliscope.StoreOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("spilling warehouse segments to %s\n", *spillDir)
+	} else if *dbPath != "" {
 		if _, statErr := os.Stat(*dbPath); statErr == nil {
 			var err error
 			db, err = milliscope.LoadDB(*dbPath)
@@ -137,6 +146,13 @@ func cmdCollector(args []string) error {
 			extra = " DEGRADED missing " + strings.Join(a.Missing, ",")
 		}
 		fmt.Printf("alert %d: %s%s\n", a.ID, a.Diagnosis.Verdict, extra)
+	}
+	if *spillDir != "" {
+		if err := col.DB().Checkpoint(); err != nil {
+			return err
+		}
+		fmt.Printf("warehouse committed to %s (%d segments on disk)\n",
+			*spillDir, totalSegments(col.DB()))
 	}
 	if *dbPath != "" {
 		if err := col.DB().Save(*dbPath); err != nil {

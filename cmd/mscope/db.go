@@ -1,0 +1,90 @@
+// Warehouse-opening helpers and the segment-store maintenance
+// subcommands (compact, migrate-db).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/gt-elba/milliscope"
+)
+
+// openWarehouse opens the --db target of a read/query command. A
+// directory is a segment-store warehouse (queries prune segments by
+// zone map before decoding them); a file is a gob snapshot loaded
+// fully into memory. Both answer every query identically.
+func openWarehouse(path string) (*milliscope.DB, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if st.IsDir() {
+		return milliscope.OpenDBDir(path, milliscope.StoreOptions{})
+	}
+	return milliscope.LoadDB(path)
+}
+
+// totalSegments counts on-disk segments across every table.
+func totalSegments(db *milliscope.DB) int {
+	n := 0
+	for _, name := range db.TableNames() {
+		if t, err := db.Table(name); err == nil {
+			n += t.Segments()
+		}
+	}
+	return n
+}
+
+func cmdCompact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ContinueOnError)
+	dir := fs.String("spill-dir", "", "segment-store directory (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("compact: --spill-dir is required")
+	}
+	db, err := milliscope.OpenDBDir(*dir, milliscope.StoreOptions{})
+	if err != nil {
+		return err
+	}
+	before := totalSegments(db)
+	if err := db.Compact(); err != nil {
+		return err
+	}
+	fmt.Printf("compacted %s: %d → %d segments\n", *dir, before, totalSegments(db))
+	return nil
+}
+
+func cmdMigrateDB(args []string) error {
+	fs := flag.NewFlagSet("migrate-db", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "gob warehouse file to migrate (required)")
+	dir := fs.String("spill-dir", "", "target segment-store directory (required, must not already hold a warehouse)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" || *dir == "" {
+		return fmt.Errorf("migrate-db: --db and --spill-dir are required")
+	}
+	db, err := milliscope.LoadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	if err := db.AttachStore(*dir, milliscope.StoreOptions{}); err != nil {
+		return err
+	}
+	if err := db.Checkpoint(); err != nil {
+		return err
+	}
+	rows := 0
+	for _, name := range db.TableNames() {
+		if t, terr := db.Table(name); terr == nil {
+			rows += t.Rows()
+		}
+	}
+	fmt.Printf("migrated %s → %s: %d rows in %d segments\n",
+		*dbPath, *dir, rows, totalSegments(db))
+	fmt.Println("point any mscope command's --db at the directory to query it")
+	return nil
+}

@@ -22,6 +22,8 @@ func cmdLive(args []string) error {
 	scenario := fs.String("scenario", "dbio", "dbio | dirtypage | jvmgc | dvfs | accuracy")
 	out := fs.String("out", "", "base directory for staged + live logs (required)")
 	dbPath := fs.String("db", "", "warehouse file: loaded if present (resume), saved on exit")
+	spillDir := fs.String("spill-dir", "",
+		"segment-store directory: spill full segments to disk while streaming (resumes from its last checkpoint)")
 	window := fs.Duration("window", 50*time.Millisecond, "detector window width")
 	speed := fs.Float64("speed", 8, "replay speed: trial seconds per wall second")
 	poll := fs.Duration("poll", 10*time.Millisecond, "tailer poll interval")
@@ -72,7 +74,13 @@ func cmdLive(args []string) error {
 	fmt.Printf("staged experiment %s: %s\n", cfg.Name, res.Stats)
 
 	var db *milliscope.DB
-	if *dbPath != "" {
+	if *spillDir != "" {
+		db, err = milliscope.OpenDBDir(*spillDir, milliscope.StoreOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("spilling warehouse segments to %s\n", *spillDir)
+	} else if *dbPath != "" {
 		if _, statErr := os.Stat(*dbPath); statErr == nil {
 			db, err = milliscope.LoadDB(*dbPath)
 			if err != nil {
@@ -221,6 +229,13 @@ func cmdLive(args []string) error {
 			extra = " DEGRADED missing " + strings.Join(a.Missing, ",")
 		}
 		fmt.Printf("alert %d: %s%s\n", a.ID, a.Diagnosis.Verdict, extra)
+	}
+	if *spillDir != "" {
+		if err := pipe.DB().Checkpoint(); err != nil {
+			return err
+		}
+		fmt.Printf("warehouse committed to %s (%d segments on disk)\n",
+			*spillDir, totalSegments(pipe.DB()))
 	}
 	if *dbPath != "" {
 		if err := pipe.DB().Save(*dbPath); err != nil {

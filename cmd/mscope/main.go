@@ -67,6 +67,10 @@ func run(args []string) error {
 		return cmdTrace(args[1:])
 	case "selftrace":
 		return cmdSelfTrace(args[1:])
+	case "compact":
+		return cmdCompact(args[1:])
+	case "migrate-db":
+		return cmdMigrateDB(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
 	case "scenario":
@@ -94,7 +98,12 @@ commands:
              offsets, detect millibottlenecks online across the fleet
   chaos      copy a log directory injecting deterministic faults
   ingest     transform a log directory and load it into a warehouse file
-             (--workers N shards files and parses them concurrently)
+             (--workers N shards files and parses them concurrently;
+             --spill-dir D streams full segments to an on-disk columnar
+             store instead of holding the whole warehouse in memory)
+  compact    merge small on-disk segments in a --spill-dir warehouse
+  migrate-db convert a gob warehouse file into a segment directory
+             (queries against either form return identical results)
   plan       write the default Parsing Declaration as editable JSON
   tables     list warehouse tables
   query      run an MQL query against a warehouse file
@@ -261,7 +270,9 @@ func cmdIngest(args []string) error {
 	fs := flag.NewFlagSet("ingest", flag.ContinueOnError)
 	logs := fs.String("logs", "", "log directory (required)")
 	work := fs.String("work", "", "work directory for XML/CSV stages (required)")
-	dbPath := fs.String("db", "", "output warehouse file (required)")
+	dbPath := fs.String("db", "", "output warehouse file (required unless --spill-dir is set)")
+	spillDir := fs.String("spill-dir", "",
+		"segment-store directory: stream full segments to disk during ingest instead of keeping all rows in memory (resumable across runs)")
 	planPath := fs.String("plan", "", "custom Parsing Declaration JSON (default: built-in)")
 	mode := fs.String("mode", "fail-fast", "malformed-input policy: fail-fast | quarantine")
 	budget := fs.Float64("budget", 0, "quarantine error budget (corrupt-line ratio per file; 0 = default 5%)")
@@ -275,8 +286,8 @@ func cmdIngest(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *logs == "" || *work == "" || *dbPath == "" {
-		return fmt.Errorf("ingest: --logs, --work and --db are required")
+	if *logs == "" || *work == "" || (*dbPath == "" && *spillDir == "") {
+		return fmt.Errorf("ingest: --logs, --work and one of --db / --spill-dir are required")
 	}
 	if *selfLog != "" {
 		defer startSelfObs("ingest", *selfLog)()
@@ -291,7 +302,15 @@ func cmdIngest(args []string) error {
 	opts := milliscope.IngestOptions{Policy: policy, ErrorBudget: *budget,
 		QuarantineDir: *qdir, Workers: *workers, Materialize: *materialize}
 	var db *milliscope.DB
-	if _, statErr := os.Stat(*dbPath); statErr == nil {
+	if *spillDir != "" {
+		// Segment-store ingest: full segments spill to disk as they fill,
+		// and the on-disk manifest (plus the ingest ledger inside it)
+		// makes re-runs resumable and idempotent.
+		db, err = milliscope.OpenDBDir(*spillDir, milliscope.StoreOptions{})
+		if err != nil {
+			return err
+		}
+	} else if _, statErr := os.Stat(*dbPath); statErr == nil {
 		// Re-ingesting into an existing warehouse: the ingest ledger makes
 		// the operation idempotent (already-loaded files are skipped).
 		db, err = milliscope.LoadDB(*dbPath)
@@ -329,23 +348,32 @@ func cmdIngest(args []string) error {
 	if consistency, err := milliscope.ValidateWarehouse(db); err == nil {
 		fmt.Println(consistency.Summary())
 	}
-	if err := db.Save(*dbPath); err != nil {
-		return err
+	if *spillDir != "" {
+		if err := db.Checkpoint(); err != nil {
+			return err
+		}
+		fmt.Printf("warehouse committed to %s (%d segments on disk)\n",
+			*spillDir, totalSegments(db))
 	}
-	fmt.Printf("warehouse saved to %s\n", *dbPath)
+	if *dbPath != "" {
+		if err := db.Save(*dbPath); err != nil {
+			return err
+		}
+		fmt.Printf("warehouse saved to %s\n", *dbPath)
+	}
 	return nil
 }
 
 func cmdTables(args []string) error {
 	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
-	dbPath := fs.String("db", "", "warehouse file (required)")
+	dbPath := fs.String("db", "", "warehouse file or segment directory (required)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dbPath == "" {
 		return fmt.Errorf("tables: --db is required")
 	}
-	db, err := milliscope.LoadDB(*dbPath)
+	db, err := openWarehouse(*dbPath)
 	if err != nil {
 		return err
 	}
@@ -365,14 +393,14 @@ func cmdTables(args []string) error {
 
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ContinueOnError)
-	dbPath := fs.String("db", "", "warehouse file (required)")
+	dbPath := fs.String("db", "", "warehouse file or segment directory (required)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dbPath == "" || fs.NArg() != 1 {
 		return fmt.Errorf("query: usage: mscope query --db FILE 'SELECT ...'")
 	}
-	db, err := milliscope.LoadDB(*dbPath)
+	db, err := openWarehouse(*dbPath)
 	if err != nil {
 		return err
 	}
@@ -390,7 +418,7 @@ func cmdQuery(args []string) error {
 
 func cmdReport(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
-	dbPath := fs.String("db", "", "warehouse file (required)")
+	dbPath := fs.String("db", "", "warehouse file or segment directory (required)")
 	figure := fs.String("figure", "fig2", "fig2 | fig4 | fig6 | fig7 | fig8 | fig9")
 	trace := fs.String("trace", "", "network trace CSV (required for fig9)")
 	window := fs.Duration("window", 50*time.Millisecond, "analysis window")
@@ -403,7 +431,7 @@ func cmdReport(args []string) error {
 	if *dbPath == "" {
 		return fmt.Errorf("report: --db is required")
 	}
-	db, err := milliscope.LoadDB(*dbPath)
+	db, err := openWarehouse(*dbPath)
 	if err != nil {
 		return err
 	}
@@ -432,7 +460,7 @@ func cmdReport(args []string) error {
 
 func cmdDiagnose(args []string) error {
 	fs := flag.NewFlagSet("diagnose", flag.ContinueOnError)
-	dbPath := fs.String("db", "", "warehouse file (required)")
+	dbPath := fs.String("db", "", "warehouse file or segment directory (required)")
 	window := fs.Duration("window", 50*time.Millisecond, "analysis window")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -440,7 +468,7 @@ func cmdDiagnose(args []string) error {
 	if *dbPath == "" {
 		return fmt.Errorf("diagnose: --db is required")
 	}
-	db, err := milliscope.LoadDB(*dbPath)
+	db, err := openWarehouse(*dbPath)
 	if err != nil {
 		return err
 	}
@@ -476,7 +504,7 @@ func cmdDiagnose(args []string) error {
 
 func cmdTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
-	dbPath := fs.String("db", "", "warehouse file (required)")
+	dbPath := fs.String("db", "", "warehouse file or segment directory (required)")
 	req := fs.String("req", "", "request ID; default: the slowest request")
 	width := fs.Int("width", 80, "swimlane width")
 	breakdown := fs.Bool("breakdown", false, "print the aggregate per-tier latency profile")
@@ -486,7 +514,7 @@ func cmdTrace(args []string) error {
 	if *dbPath == "" {
 		return fmt.Errorf("trace: --db is required")
 	}
-	db, err := milliscope.LoadDB(*dbPath)
+	db, err := openWarehouse(*dbPath)
 	if err != nil {
 		return err
 	}

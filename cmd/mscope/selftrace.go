@@ -47,7 +47,7 @@ func startSelfObs(pipeline, path string) func() {
 // cross-node critical path with node attribution.
 func cmdSelfTrace(args []string) error {
 	fs := flag.NewFlagSet("selftrace", flag.ContinueOnError)
-	dbPath := fs.String("db", "", "warehouse file (required)")
+	dbPath := fs.String("db", "", "warehouse file or segment directory (required)")
 	fleet := fs.Bool("fleet", false,
 		"merge every node's telemetry into one cross-node critical path")
 	if err := fs.Parse(args); err != nil {
@@ -56,7 +56,7 @@ func cmdSelfTrace(args []string) error {
 	if *dbPath == "" {
 		return fmt.Errorf("selftrace: --db is required")
 	}
-	db, err := milliscope.LoadDB(*dbPath)
+	db, err := openWarehouse(*dbPath)
 	if err != nil {
 		return err
 	}

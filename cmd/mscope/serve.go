@@ -19,7 +19,7 @@ import (
 // `mscope live --serve` or `mscope collector --serve`.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
-	dbPath := fs.String("db", "", "warehouse file (required)")
+	dbPath := fs.String("db", "", "warehouse file or segment directory (required)")
 	listen := fs.String("listen", ":8080", "listen address")
 	window := fs.Duration("window", 50*time.Millisecond, "diagnosis window width")
 	if err := fs.Parse(args); err != nil {
@@ -28,7 +28,7 @@ func cmdServe(args []string) error {
 	if *dbPath == "" {
 		return fmt.Errorf("serve: --db is required")
 	}
-	db, err := milliscope.LoadDB(*dbPath)
+	db, err := openWarehouse(*dbPath)
 	if err != nil {
 		return err
 	}

@@ -28,6 +28,11 @@ type DB struct {
 	offMu      sync.Mutex
 	ingestOff  map[string]int64
 	ingestRows map[string]int64
+
+	// store, when non-nil, backs the warehouse with the on-disk segment
+	// store (OpenDir / AttachStore): tables seal full segments to disk as
+	// they fill and Checkpoint commits consistent snapshots.
+	store *Store
 }
 
 // Open creates an empty warehouse with the four static tables.
@@ -84,6 +89,9 @@ func (db *DB) Create(name string, cols []Column) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	if db.store != nil {
+		t.seal = &sealedPart{store: db.store}
+	}
 	db.tables[name] = t
 	return t, nil
 }
@@ -98,12 +106,19 @@ func (db *DB) Install(t *Table) error {
 		return fmt.Errorf("mscopedb: install nil table")
 	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if _, exists := db.tables[t.Name()]; exists {
+		db.mu.Unlock()
 		return fmt.Errorf("mscopedb: table %q already exists", t.Name())
 	}
+	if db.store != nil && t.seal == nil {
+		t.seal = &sealedPart{store: db.store}
+	}
 	db.tables[t.Name()] = t
-	return nil
+	db.mu.Unlock()
+	// Carve the bulk-built table's full chunks straight to disk, so a
+	// large install holds at most one seal's worth of rows in memory once
+	// the appender moves on.
+	return t.spillFull()
 }
 
 // Table returns the named table.
@@ -145,11 +160,29 @@ func (db *DB) Drop(name string) error {
 		return fmt.Errorf("mscopedb: cannot drop static table %q", name)
 	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, ok := db.tables[name]; !ok {
+	t, ok := db.tables[name]
+	if !ok {
+		db.mu.Unlock()
 		return fmt.Errorf("mscopedb: no table %q", name)
 	}
 	delete(db.tables, name)
+	db.mu.Unlock()
+	// The dropped table's segments die with the next manifest commit
+	// (which no longer references them); until then a crash resurrects
+	// the table — drops become durable at the next Checkpoint, like
+	// appends. Registered outside db.mu: addOrphans takes store.mu and
+	// Checkpoint acquires the two in the opposite order.
+	if db.store != nil && t.seal != nil {
+		t.seal.mu.RLock()
+		files := make([]string, 0, len(t.seal.segs))
+		for _, ss := range t.seal.segs {
+			files = append(files, ss.meta.File)
+		}
+		t.seal.mu.RUnlock()
+		if len(files) > 0 {
+			db.store.addOrphans(files...)
+		}
+	}
 	return nil
 }
 

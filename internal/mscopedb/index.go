@@ -29,6 +29,12 @@ func (t *Table) sortedIndex(ci int) *colIndex {
 	default:
 		return nil
 	}
+	// Spill-backed tables don't index: their range scans prune whole
+	// segments by zone map instead, and the in-memory tail the index
+	// would cover is bounded by one seal's worth of rows anyway.
+	if t.seal != nil {
+		return nil
+	}
 	if t.rows < indexMinRows {
 		return nil
 	}

@@ -40,8 +40,14 @@ func (db *DB) Save(path string) error {
 	var snap dbSnapshot
 	for _, name := range db.TableNames() {
 		t := db.tables[name]
+		// Spill-backed tables materialize their segments, so the gob image
+		// is identical to one saved from an all-in-memory ingest.
+		data, err := t.fullData()
+		if err != nil {
+			return err
+		}
 		snap.Tables = append(snap.Tables, tableSnapshot{
-			Name: t.name, Cols: t.cols, Data: t.data, Rows: t.rows,
+			Name: t.name, Cols: t.cols, Data: data, Rows: t.rows,
 		})
 	}
 	var f *os.File

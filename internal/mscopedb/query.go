@@ -131,13 +131,29 @@ func (q *Query) Limit(n int) *Query {
 	return q
 }
 
-// Rows executes the scan.
+// Rows executes the scan. On a spill-backed table the matches are
+// materialized from disk into an ephemeral in-memory view (zone-map
+// pruned, segments scanned in parallel — see spilledScan), so the Result
+// behaves identically either way.
 func (q *Query) Rows() (*Result, error) {
 	if q.err != nil {
 		return nil, q.err
 	}
 	t := q.t
-	idx := q.candidates()
+	var idx []int
+	if t.SealedRows() > 0 {
+		view, err := q.spilledScan()
+		if err != nil {
+			return nil, err
+		}
+		t = view
+		idx = make([]int, view.rows)
+		for i := range idx {
+			idx[i] = i
+		}
+	} else {
+		idx = q.candidates()
+	}
 	if q.sort >= 0 {
 		ci := q.sort
 		if t.cols[ci].Type == TString {

@@ -1,0 +1,192 @@
+package mscopedb
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// spilledScan executes a predicate scan over a spill-backed table and
+// materializes the matches into an ephemeral in-memory view table, in
+// global append order (sealed segments first, tail last — exactly the
+// order candidates() yields on an in-memory table). The view has no seal,
+// so everything downstream of Rows() — OrderBy, Limit, the vectorized
+// WindowAgg path — runs at full in-memory speed over just the matches.
+//
+// Per-segment work is pruned then parallelized: a segment whose zone map
+// proves a predicate unsatisfiable is never read, and the survivors are
+// decoded and filtered by one worker each (capped at GOMAXPROCS), the way
+// the ingest side fans out per file.
+func (q *Query) spilledScan() (*Table, error) {
+	view, err := q.spilledScanOnce()
+	if err != nil {
+		// The compactor may have merged segment files out from under the
+		// snapshot; one retry re-snapshots the fresh list.
+		view, err = q.spilledScanOnce()
+	}
+	return view, err
+}
+
+func (q *Query) spilledScanOnce() (*Table, error) {
+	t := q.t
+	sp := t.seal
+
+	// One consistent snapshot of the physical layout: segment list, seal
+	// boundary, and tail slice headers move together under the write lock.
+	sp.mu.RLock()
+	segs := append([]sealedSeg(nil), sp.segs...)
+	sealed := sp.rows
+	tailRows := t.rows - sealed
+	tailData := append([]colData(nil), t.data...)
+	sp.mu.RUnlock()
+
+	// Zone-map pruning: drop every segment some predicate proves empty.
+	survivors := segs[:0:0]
+	for _, ss := range segs {
+		excluded := false
+		for _, p := range q.preds {
+			if p.isStr {
+				continue
+			}
+			if ss.meta.Zones[p.col].excludes(p.op, p.num) {
+				excluded = true
+				break
+			}
+		}
+		if excluded {
+			statSegsPruned.Add(1)
+			continue
+		}
+		survivors = append(survivors, ss)
+	}
+
+	// Decode + filter + gather each surviving segment in parallel.
+	parts := make([][]colData, len(survivors))
+	counts := make([]int, len(survivors))
+	errs := make([]error, len(survivors))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(survivors) {
+		workers = len(survivors)
+	}
+	if workers > 1 {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					parts[i], counts[i], errs[i] = q.scanSegment(sp, survivors[i])
+				}
+			}()
+		}
+		for i := range survivors {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		for i := range survivors {
+			parts[i], counts[i], errs[i] = q.scanSegment(sp, survivors[i])
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("mscopedb: scan %s: %w", t.name, err)
+		}
+	}
+
+	// Tail filter, on the snapshotted slice headers.
+	tailMatch := matchRows(t.cols, tailData, tailRows, q.preds)
+
+	total := len(tailMatch)
+	for _, c := range counts {
+		total += c
+	}
+	data := make([]colData, len(t.cols))
+	for ci := range t.cols {
+		for _, part := range parts {
+			if part != nil {
+				appendCol(&data[ci], &part[ci], t.cols[ci].Type, nil)
+			}
+		}
+		appendCol(&data[ci], &tailData[ci], t.cols[ci].Type, tailMatch)
+	}
+	// The view shares the (immutable) schema with its parent.
+	return &Table{name: t.name, cols: t.cols, colIdx: t.colIdx, data: data, rows: total}, nil
+}
+
+// scanSegment decodes one segment and gathers its matching rows.
+func (q *Query) scanSegment(sp *sealedPart, ss sealedSeg) ([]colData, int, error) {
+	t := q.t
+	raw, err := sp.store.readSegment(ss.meta, t.name, t.cols)
+	if err != nil {
+		return nil, 0, err
+	}
+	statSegsScanned.Add(1)
+	match := matchRows(t.cols, raw, ss.meta.Rows, q.preds)
+	if len(match) == 0 {
+		return nil, 0, nil
+	}
+	out := make([]colData, len(t.cols))
+	for ci := range t.cols {
+		appendCol(&out[ci], &raw[ci], t.cols[ci].Type, match)
+	}
+	return out, len(match), nil
+}
+
+// matchRows applies the predicate list to raw column data and returns the
+// matching local row numbers, coercing cells exactly as pred.match does
+// on a live table.
+func matchRows(cols []Column, data []colData, nrows int, preds []pred) []int32 {
+	var out []int32
+scan:
+	for r := 0; r < nrows; r++ {
+		for _, p := range preds {
+			if !matchCell(cols[p.col].Type, &data[p.col], r, p) {
+				continue scan
+			}
+		}
+		out = append(out, int32(r))
+	}
+	return out
+}
+
+func matchCell(typ Type, d *colData, row int, p pred) bool {
+	if p.isStr {
+		if typ != TString {
+			return false
+		}
+		if p.op == OpEq {
+			return d.Strs[row] == p.str
+		}
+		return d.Strs[row] != p.str
+	}
+	var v float64
+	switch typ {
+	case TInt:
+		v = float64(d.Ints[row])
+	case TFloat:
+		v = d.Floats[row]
+	case TTime:
+		v = float64(d.Times[row])
+	default:
+		return false
+	}
+	switch p.op {
+	case OpEq:
+		return v == p.num
+	case OpNe:
+		return v != p.num
+	case OpLt:
+		return v < p.num
+	case OpLe:
+		return v <= p.num
+	case OpGt:
+		return v > p.num
+	case OpGe:
+		return v >= p.num
+	default:
+		return false
+	}
+}

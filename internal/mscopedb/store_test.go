@@ -1,0 +1,754 @@
+package mscopedb
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+	"unsafe"
+)
+
+// tinyStore returns options that force spilling after a handful of rows,
+// so unit-scale corpora exercise the multi-segment machinery.
+func tinyStore(sealRows int) StoreOptions {
+	return StoreOptions{SealRows: sealRows, CompactTargetRows: sealRows * 8, CompactMinSegs: 3}
+}
+
+// fillEvents appends n synthetic event rows (10ms apart, monotonic time)
+// to the named table, creating it on first use.
+func fillEvents(t *testing.T, db *DB, table string, from, n int) *Table {
+	t.Helper()
+	cols := []Column{
+		{Name: "ts", Type: TTime},
+		{Name: "dev", Type: TString},
+		{Name: "rt_us", Type: TInt},
+		{Name: "util", Type: TFloat},
+	}
+	tbl, err := db.Table(table)
+	if err != nil {
+		tbl, err = db.Create(table, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := time.Date(2017, 4, 1, 0, 0, 0, 0, time.UTC)
+	for i := from; i < from+n; i++ {
+		err := tbl.Append(
+			base.Add(time.Duration(i)*10*time.Millisecond),
+			fmt.Sprintf("dev%d", i%3),
+			int64(1000+i),
+			float64(i)/10,
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// assertTableEqual compares two tables cell for cell via the public
+// accessors — the property every spill/reopen/compact path must keep.
+func assertTableEqual(t *testing.T, want, got *Table) {
+	t.Helper()
+	if want.Rows() != got.Rows() {
+		t.Fatalf("%s: %d rows, want %d", got.Name(), got.Rows(), want.Rows())
+	}
+	wc, gc := want.Columns(), got.Columns()
+	if len(wc) != len(gc) {
+		t.Fatalf("%s: %d cols, want %d", got.Name(), len(gc), len(wc))
+	}
+	for ci := range wc {
+		if wc[ci] != gc[ci] {
+			t.Fatalf("%s: col %d is %+v, want %+v", got.Name(), ci, gc[ci], wc[ci])
+		}
+		for r := 0; r < want.Rows(); r++ {
+			if wv, gv := want.Value(ci, r), got.Value(ci, r); wv != gv {
+				t.Fatalf("%s.%s row %d: %v, want %v", got.Name(), wc[ci].Name, r, gv, wv)
+			}
+		}
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	cols := []Column{
+		{Name: "a", Type: TInt},
+		{Name: "b", Type: TFloat},
+		{Name: "c", Type: TTime},
+		{Name: "d", Type: TString}, // low-cardinality → dictionary
+		{Name: "e", Type: TString}, // high-cardinality → raw
+	}
+	n := segDictMaxCard + 100
+	data := make([]colData, len(cols))
+	for i := 0; i < n; i++ {
+		data[0].Ints = append(data[0].Ints, int64(i*i-5000))
+		data[1].Floats = append(data[1].Floats, float64(i)*1.5-7)
+		data[2].Times = append(data[2].Times, int64(1491004800000000+i*250))
+		data[3].Strs = append(data[3].Strs, fmt.Sprintf("dev%d", i%7))
+		data[4].Strs = append(data[4].Strs, fmt.Sprintf("req-%08d", i))
+	}
+	img, zones, err := encodeSegment("ev", cols, data, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !zones[0].Has || zones[0].Min != -5000 || zones[0].Max != float64((n-1)*(n-1)-5000) {
+		t.Fatalf("int zone = %+v", zones[0])
+	}
+	if zones[3].Has || zones[4].Has {
+		t.Fatalf("string columns grew zones: %+v %+v", zones[3], zones[4])
+	}
+	got, rows, err := decodeSegment(img, "ev", cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != n {
+		t.Fatalf("rows = %d, want %d", rows, n)
+	}
+	for i := 0; i < n; i++ {
+		if got[0].Ints[i] != data[0].Ints[i] || got[1].Floats[i] != data[1].Floats[i] ||
+			got[2].Times[i] != data[2].Times[i] || got[3].Strs[i] != data[3].Strs[i] ||
+			got[4].Strs[i] != data[4].Strs[i] {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+
+	// The decoded dictionary column must share backing strings (one per
+	// distinct value), like the in-memory interner.
+	seen := map[string]*byte{}
+	for i := range got[3].Strs {
+		s := got[3].Strs[i]
+		if len(s) == 0 {
+			continue
+		}
+		p := unsafe.StringData(s) // only compared, never dereferenced
+		if prev, ok := seen[s]; ok && prev != p {
+			t.Fatalf("dictionary value %q not shared", s)
+		}
+		seen[s] = p
+	}
+}
+
+func TestSegmentCorruptionDetected(t *testing.T) {
+	cols := []Column{{Name: "a", Type: TInt}}
+	data := []colData{{Ints: []int64{1, 2, 3}}}
+	img, _, err := encodeSegment("x", cols, data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := append([]byte(nil), img...)
+	flip[len(flip)/2] ^= 0xff
+	if _, _, err := decodeSegment(flip, "x", cols); err == nil {
+		t.Fatal("bit flip not detected")
+	}
+	if _, _, err := decodeSegment(img[:len(img)-3], "x", cols); err == nil {
+		t.Fatal("truncation not detected")
+	}
+	if _, _, err := decodeSegment(img, "y", cols); err == nil {
+		t.Fatal("table mismatch not detected")
+	}
+	if _, _, err := decodeSegment(img, "x", []Column{{Name: "a", Type: TFloat}}); err == nil {
+		t.Fatal("schema mismatch not detected")
+	}
+	if _, _, err := encodeSegment("x", cols, data, 0); err == nil {
+		t.Fatal("empty segment accepted")
+	}
+}
+
+func TestSpillCheckpointReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDir(dir, tinyStore(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := fillEvents(t, db, "ev", 0, 100)
+	if tbl.Segments() == 0 {
+		t.Fatal("no auto-spill at 100 rows with SealRows=16")
+	}
+	if tbl.SealedRows()+16 < tbl.Rows()-16 {
+		t.Fatalf("tail too large: %d sealed of %d", tbl.SealedRows(), tbl.Rows())
+	}
+	if err := db.RecordIngestAt("ev", "/logs/a.csv", 100, 4096, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenDir(dir, tinyStore(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := re.Table("ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTableEqual(t, tbl, got)
+	if off, ok := re.LatestIngestOffset("/logs/a.csv"); !ok || off != 4096 {
+		t.Fatalf("ledger offset = %d,%v after reopen", off, ok)
+	}
+	if rows, ok := re.LatestIngestRows("/logs/a.csv"); !ok || rows != 100 {
+		t.Fatalf("ledger rows = %d,%v after reopen", rows, ok)
+	}
+}
+
+func TestUncommittedSpillDroppedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDir(dir, tinyStore(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillEvents(t, db, "ev", 0, 40)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Keep appending past several seal thresholds, then "crash" without a
+	// checkpoint: the spilled-but-uncommitted segments must be swept and
+	// the warehouse must reopen to exactly the checkpointed 40 rows.
+	fillEvents(t, db, "ev", 40, 64)
+	before, _ := filepath.Glob(filepath.Join(dir, "seg-*"))
+
+	re, err := OpenDir(dir, tinyStore(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := re.Table("ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != 40 {
+		t.Fatalf("reopened to %d rows, want the checkpointed 40", got.Rows())
+	}
+	after, _ := filepath.Glob(filepath.Join(dir, "seg-*"))
+	if len(after) >= len(before) {
+		t.Fatalf("uncommitted segments not swept: %d files before, %d after", len(before), len(after))
+	}
+}
+
+func TestTornTempFilesSwept(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDir(dir, tinyStore(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillEvents(t, db, "ev", 0, 50)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-write leaves torn temp files and a half-written segment
+	// that no manifest references; reopen must sweep all of them.
+	for _, junk := range []string{"MANIFEST.json.tmp", "tail-99999999.gob.tmp", "seg-99999999-ev.seg"} {
+		if err := os.WriteFile(filepath.Join(dir, junk), []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	re, err := OpenDir(dir, tinyStore(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, junk := range []string{"MANIFEST.json.tmp", "tail-99999999.gob.tmp", "seg-99999999-ev.seg"} {
+		if _, err := os.Stat(filepath.Join(dir, junk)); !os.IsNotExist(err) {
+			t.Fatalf("%s survived reopen", junk)
+		}
+	}
+	got, err := re.Table("ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != 50 {
+		t.Fatalf("reopened to %d rows, want 50", got.Rows())
+	}
+}
+
+func TestZoneMapPruning(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDir(dir, tinyStore(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := fillEvents(t, db, "ev", 0, 200) // 10ms apart → 2s of data
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	segs := tbl.Segments()
+	if segs < 10 {
+		t.Fatalf("only %d segments; want >= 10 for a meaningful pruning test", segs)
+	}
+	base := time.Date(2017, 4, 1, 0, 0, 0, 0, time.UTC)
+
+	// A 100ms window overlaps ~1 of the 160ms segments.
+	ResetScanStats()
+	res, err := tbl.Select().Between("ts", base.Add(500*time.Millisecond), base.Add(600*time.Millisecond)).Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 11 {
+		t.Fatalf("window matched %d rows, want 11", res.Len())
+	}
+	scanned, pruned := ScanStats()
+	if scanned+pruned != int64(segs) {
+		t.Fatalf("scanned %d + pruned %d != %d segments", scanned, pruned, segs)
+	}
+	if scanned > 2 {
+		t.Fatalf("scanned %d segments for a 100ms window; pruning is not working", scanned)
+	}
+	if pruned < int64(segs)-2 {
+		t.Fatalf("pruned only %d of %d segments", pruned, segs)
+	}
+
+	// All-pruned query: a window before all data touches zero segments.
+	ResetScanStats()
+	res, err = tbl.Select().Between("ts", base.Add(-time.Hour), base.Add(-time.Minute)).Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Fatalf("empty window matched %d rows", res.Len())
+	}
+	if scanned, _ := ScanStats(); scanned != 0 {
+		t.Fatalf("scanned %d segments for an out-of-range window", scanned)
+	}
+
+	// Pruning applies to every numeric operator shape, not just Between.
+	ResetScanStats()
+	res, err = tbl.Select().Where("rt_us", OpGt, int64(1000+197)).Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("OpGt matched %d rows, want 2", res.Len())
+	}
+	if scanned, _ := ScanStats(); scanned > 1 {
+		t.Fatalf("OpGt on monotonic column scanned %d segments", scanned)
+	}
+
+	// Zone maps must survive the manifest JSON round trip: a reopened
+	// store prunes (and matches) exactly like the one that spilled.
+	re, err := OpenDir(dir, tinyStore(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := re.Table("ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetScanStats()
+	res, err = rt.Select().Between("ts", base.Add(500*time.Millisecond), base.Add(600*time.Millisecond)).Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 11 {
+		t.Fatalf("reopened window matched %d rows, want 11", res.Len())
+	}
+	scanned, pruned = ScanStats()
+	if scanned > 2 || pruned < int64(segs)-2 {
+		t.Fatalf("reopened store scanned %d / pruned %d of %d segments; zone maps lost in manifest round trip",
+			scanned, pruned, segs)
+	}
+}
+
+func TestSpilledQueryMatchesInMemory(t *testing.T) {
+	dir := t.TempDir()
+	spilled, err := OpenDir(dir, tinyStore(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := Open()
+	st := fillEvents(t, spilled, "ev", 0, 150)
+	mt := fillEvents(t, mem, "ev", 0, 150)
+	if err := spilled.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2017, 4, 1, 0, 0, 0, 0, time.UTC)
+
+	type mk func(*Table) *Query
+	cases := map[string]mk{
+		"all":        func(t *Table) *Query { return t.Select() },
+		"window":     func(t *Table) *Query { return t.Select().Between("ts", base.Add(200*time.Millisecond), base.Add(900*time.Millisecond)) },
+		"str-eq":     func(t *Table) *Query { return t.Select().Where("dev", OpEq, "dev1") },
+		"str-ne":     func(t *Table) *Query { return t.Select().Where("dev", OpNe, "dev0") },
+		"combo":      func(t *Table) *Query { return t.Select().Where("util", OpGe, 5.0).Where("dev", OpEq, "dev2") },
+		"order":      func(t *Table) *Query { return t.Select().OrderBy("rt_us", false).Limit(7) },
+		"order-str":  func(t *Table) *Query { return t.Select().OrderBy("dev", true).Limit(11) },
+		"everything": func(t *Table) *Query { return t.Select().Where("rt_us", OpGe, int64(1020)).Between("ts", base, base.Add(time.Second)).OrderBy("ts", false).Limit(13) },
+	}
+	for name, make := range cases {
+		want, err := make(mt).Rows()
+		if err != nil {
+			t.Fatalf("%s (mem): %v", name, err)
+		}
+		got, err := make(st).Rows()
+		if err != nil {
+			t.Fatalf("%s (spill): %v", name, err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("%s: %d rows, want %d", name, got.Len(), want.Len())
+		}
+		for i := 0; i < want.Len(); i++ {
+			wr, gr := want.Row(i), got.Row(i)
+			for c := range wr {
+				if wr[c] != gr[c] {
+					t.Fatalf("%s row %d col %d: %v, want %v", name, i, c, gr[c], wr[c])
+				}
+			}
+		}
+		// Window aggregation through the vectorized path must agree too.
+		ws, err := want.WindowAgg("ts", 50*time.Millisecond, "rt_us", AggP99)
+		if err != nil {
+			t.Fatalf("%s (mem agg): %v", name, err)
+		}
+		gs, err := got.WindowAgg("ts", 50*time.Millisecond, "rt_us", AggP99)
+		if err != nil {
+			t.Fatalf("%s (spill agg): %v", name, err)
+		}
+		if len(ws.Values) != len(gs.Values) {
+			t.Fatalf("%s: agg %d windows, want %d", name, len(gs.Values), len(ws.Values))
+		}
+		for i := range ws.Values {
+			if ws.Values[i] != gs.Values[i] || ws.StartMicros[i] != gs.StartMicros[i] {
+				t.Fatalf("%s: agg window %d differs", name, i)
+			}
+		}
+	}
+}
+
+func TestSingleRowSegments(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDir(dir, tinyStore(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := fillEvents(t, db, "ev", 0, 20)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Segments() != 20 {
+		t.Fatalf("%d segments with SealRows=1, want 20", tbl.Segments())
+	}
+	mem := Open()
+	assertTableEqual(t, fillEvents(t, mem, "ev", 0, 20), tbl)
+
+	re, err := OpenDir(dir, tinyStore(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := re.Table("ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, _ := mem.Table("ev")
+	assertTableEqual(t, mt, got)
+}
+
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDir(dir, tinyStore(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := fillEvents(t, db, "ev", 0, 128)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	before := tbl.Segments()
+	if before < 8 {
+		t.Fatalf("only %d segments before compaction", before)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := tbl.Segments()
+	if after >= before {
+		t.Fatalf("compaction did not reduce segments: %d -> %d", before, after)
+	}
+	mem := Open()
+	want := fillEvents(t, mem, "ev", 0, 128)
+	assertTableEqual(t, want, tbl)
+
+	// Queries over the merged (time-overlapping) layout still match, and
+	// the superseded input files are gone after the commit.
+	base := time.Date(2017, 4, 1, 0, 0, 0, 0, time.UTC)
+	res, err := tbl.Select().Between("ts", base.Add(100*time.Millisecond), base.Add(400*time.Millisecond)).Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 31 {
+		t.Fatalf("window after compaction matched %d rows, want 31", res.Len())
+	}
+	segFiles, _ := filepath.Glob(filepath.Join(dir, "seg-*"))
+	if len(segFiles) != after {
+		t.Fatalf("%d segment files on disk for %d live segments", len(segFiles), after)
+	}
+
+	re, err := OpenDir(dir, tinyStore(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := re.Table("ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTableEqual(t, want, got)
+}
+
+func TestCrashMidCompactionReopens(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDir(dir, tinyStore(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillEvents(t, db, "ev", 0, 128)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash in the widest window: merged segment written, swap and commit
+	// never happen. The hook panics out of CompactOnce, leaving the store
+	// directory exactly as a kill -9 would.
+	compactTestHook = func(string) { panic("crash mid-compaction") }
+	defer func() { compactTestHook = nil }()
+	func() {
+		defer func() { recover() }()
+		db.CompactOnce()
+		t.Fatal("hook did not fire")
+	}()
+	compactTestHook = nil
+
+	re, err := OpenDir(dir, tinyStore(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := re.Table("ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := Open()
+	assertTableEqual(t, fillEvents(t, mem, "ev", 0, 128), got)
+	// And the abandoned merged file was swept.
+	re2, _ := re.Table("ev")
+	_ = re2
+	segFiles, _ := filepath.Glob(filepath.Join(dir, "seg-*"))
+	if len(segFiles) != got.Segments() {
+		t.Fatalf("%d files for %d segments after crash recovery", len(segFiles), got.Segments())
+	}
+}
+
+func TestCompactionAfterSwapBeforeCommitReopens(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDir(dir, tinyStore(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := fillEvents(t, db, "ev", 0, 128)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Merge + swap succeed but the process dies before any checkpoint:
+	// the committed manifest still names the input files (deletion is
+	// deferred to the next commit), so reopen sees the old layout intact.
+	if did, err := db.CompactOnce(); err != nil || !did {
+		t.Fatalf("CompactOnce = %v, %v", did, err)
+	}
+	mem := Open()
+	want := fillEvents(t, mem, "ev", 0, 128)
+	assertTableEqual(t, want, tbl) // merged layout serves reads
+
+	re, err := OpenDir(dir, tinyStore(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := re.Table("ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTableEqual(t, want, got)
+}
+
+func TestWidenAndAddColumnUnspill(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDir(dir, tinyStore(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := fillEvents(t, db, "ev", 0, 50)
+	if tbl.Segments() == 0 {
+		t.Fatal("expected spilled segments before widen")
+	}
+	if err := tbl.Widen("rt_us", TString); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Segments() != 0 {
+		t.Fatal("widen left stale segments")
+	}
+	if got := tbl.Str(tbl.ColIndex("rt_us"), 0); got != "1000" {
+		t.Fatalf("widened cell = %q, want \"1000\"", got)
+	}
+	if err := tbl.AddColumn(Column{Name: "extra", Type: TInt}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Int(tbl.ColIndex("extra"), 49); got != 0 {
+		t.Fatalf("backfilled cell = %d, want 0", got)
+	}
+	// The widened table checkpoints and reopens with its new schema.
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDir(dir, tinyStore(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := re.Table("ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTableEqual(t, tbl, got)
+}
+
+func TestSaveMaterializesSpilledTables(t *testing.T) {
+	dir := t.TempDir()
+	spilled, err := OpenDir(dir, tinyStore(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := Open()
+	for _, db := range []*DB{spilled, mem} {
+		fillEvents(t, db, "ev", 0, 100)
+		if err := db.RecordIngestAt("ev", "/logs/a.csv", 100, 512, time.Unix(42, 0).UTC()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := spilled.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	spillGob := filepath.Join(t.TempDir(), "spill.db")
+	memGob := filepath.Join(t.TempDir(), "mem.db")
+	if err := spilled.Save(spillGob); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Save(memGob); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(spillGob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(memGob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("gob from spilled warehouse differs from in-memory gob (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+func TestMigrateGobToSegments(t *testing.T) {
+	// Legacy path: an in-memory ingest saved with gob.
+	mem := Open()
+	fillEvents(t, mem, "ev", 0, 120)
+	if err := mem.RecordIngestAt("ev", "/logs/a.csv", 120, 2048, time.Unix(7, 0).UTC()); err != nil {
+		t.Fatal(err)
+	}
+	gobPath := filepath.Join(t.TempDir(), "w.db")
+	if err := mem.Save(gobPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Migration: Load + AttachStore + Checkpoint, then reopen from disk.
+	loaded, err := Load(gobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := loaded.AttachStore(dir, tinyStore(16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDir(dir, tinyStore(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte-identical query surface: every cell matches, and saving the
+	// migrated store back to gob reproduces the original file exactly.
+	wantT, _ := mem.Table("ev")
+	gotT, err := re.Table("ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotT.Segments() < 7 {
+		t.Fatalf("migration produced only %d segments", gotT.Segments())
+	}
+	assertTableEqual(t, wantT, gotT)
+	back := filepath.Join(t.TempDir(), "back.db")
+	if err := re.Save(back); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(gobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := os.ReadFile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, rt) {
+		t.Fatalf("migrated gob differs from original (%d vs %d bytes)", len(rt), len(orig))
+	}
+
+	// Dictionary + delta must beat gob's footprint on disk.
+	var segBytes int64
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "seg-") {
+			fi, _ := e.Info()
+			segBytes += fi.Size()
+		}
+	}
+	gi, err := os.Stat(gobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segBytes >= gi.Size() {
+		t.Fatalf("segments (%d B) not smaller than gob (%d B)", segBytes, gi.Size())
+	}
+
+	// AttachStore refuses to double-attach or clobber an existing store.
+	if err := re.AttachStore(t.TempDir(), StoreOptions{}); err == nil {
+		t.Fatal("double attach accepted")
+	}
+	fresh := Open()
+	if err := fresh.AttachStore(dir, StoreOptions{}); err == nil {
+		t.Fatal("attach over an existing manifest accepted")
+	}
+}
+
+func TestDropOrphansSegments(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDir(dir, tinyStore(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillEvents(t, db, "ev", 0, 64)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Drop("ev"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	segFiles, _ := filepath.Glob(filepath.Join(dir, "seg-*ev*"))
+	if len(segFiles) != 0 {
+		t.Fatalf("dropped table left %d segment files", len(segFiles))
+	}
+	re, err := OpenDir(dir, tinyStore(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.HasTable("ev") {
+		t.Fatal("dropped table resurrected after checkpoint")
+	}
+}

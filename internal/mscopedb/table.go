@@ -101,6 +101,11 @@ type Table struct {
 	// guarded by idxMu, invalidated by staleness checks against rows.
 	idxMu sync.Mutex
 	idx   map[int]*colIndex
+
+	// seal, when non-nil, makes the table spill-backed: rows [0, seal.rows)
+	// live in immutable on-disk segments and data holds only the in-memory
+	// tail. Row numbers stay global; the accessors translate.
+	seal *sealedPart
 }
 
 // NewTable builds an empty table; column names must be unique and
@@ -223,7 +228,7 @@ func (t *Table) Append(values ...any) error {
 		}
 	}
 	t.rows++
-	return nil
+	return t.maybeSpill()
 }
 
 // AppendStrings parses one CSV-shaped row against the schema (the import
@@ -271,7 +276,7 @@ func (t *Table) AppendStrings(raw []string) error {
 		}
 	}
 	t.rows++
-	return nil
+	return t.maybeSpill()
 }
 
 // internStr returns a shared copy of s for low-cardinality columns. The
@@ -313,6 +318,12 @@ func (t *Table) Widen(col string, to Type) error {
 	from := t.cols[ci].Type
 	if from == to {
 		return nil
+	}
+	// Sealed segments are immutable and carry the old schema; pull them
+	// back into the tail before rewriting in place. Widening happens while
+	// a table's schema is still settling — early, when little has spilled.
+	if err := t.unspill(); err != nil {
+		return err
 	}
 	d := &t.data[ci]
 	switch {
@@ -362,6 +373,11 @@ func (t *Table) AddColumn(c Column) error {
 	if _, dup := t.colIdx[c.Name]; dup {
 		return fmt.Errorf("mscopedb: %s: duplicate column %q", t.name, c.Name)
 	}
+	// Same reasoning as Widen: segments pin the schema they were encoded
+	// under, so widen the physical layout in memory.
+	if err := t.unspill(); err != nil {
+		return err
+	}
 	var d colData
 	switch c.Type {
 	case TInt:
@@ -380,28 +396,48 @@ func (t *Table) AddColumn(c Column) error {
 }
 
 // Int returns an int cell.
-func (t *Table) Int(col, row int) int64 { return t.data[col].Ints[row] }
+func (t *Table) Int(col, row int) int64 {
+	if t.seal != nil {
+		return t.seal.intAt(t, col, row)
+	}
+	return t.data[col].Ints[row]
+}
 
 // Float returns a float cell.
-func (t *Table) Float(col, row int) float64 { return t.data[col].Floats[row] }
+func (t *Table) Float(col, row int) float64 {
+	if t.seal != nil {
+		return t.seal.floatAt(t, col, row)
+	}
+	return t.data[col].Floats[row]
+}
 
 // TimeMicros returns a time cell as a microsecond epoch.
-func (t *Table) TimeMicros(col, row int) int64 { return t.data[col].Times[row] }
+func (t *Table) TimeMicros(col, row int) int64 {
+	if t.seal != nil {
+		return t.seal.timeAt(t, col, row)
+	}
+	return t.data[col].Times[row]
+}
 
 // Str returns a string cell.
-func (t *Table) Str(col, row int) string { return t.data[col].Strs[row] }
+func (t *Table) Str(col, row int) string {
+	if t.seal != nil {
+		return t.seal.strAt(t, col, row)
+	}
+	return t.data[col].Strs[row]
+}
 
 // Value returns a cell as any (int64, float64, time.Time or string).
 func (t *Table) Value(col, row int) any {
 	switch t.cols[col].Type {
 	case TInt:
-		return t.data[col].Ints[row]
+		return t.Int(col, row)
 	case TFloat:
-		return t.data[col].Floats[row]
+		return t.Float(col, row)
 	case TTime:
-		return time.UnixMicro(t.data[col].Times[row]).UTC()
+		return time.UnixMicro(t.TimeMicros(col, row)).UTC()
 	case TString:
-		return t.data[col].Strs[row]
+		return t.Str(col, row)
 	default:
 		panic(fmt.Sprintf("mscopedb: invalid column type %v", t.cols[col].Type))
 	}
@@ -410,6 +446,8 @@ func (t *Table) Value(col, row int) any {
 // SizeBytes estimates the table's in-memory data footprint: 8 bytes per
 // numeric/time cell, string header plus content per string cell. The
 // schema-typing ablation compares typed against all-string schemas with it.
+// On a spill-backed table this counts only the in-memory tail — that is
+// the footprint, the sealed rows live on disk.
 func (t *Table) SizeBytes() int64 {
 	var total int64
 	for i := range t.data {
@@ -427,11 +465,11 @@ func (t *Table) SizeBytes() int64 {
 func (t *Table) numeric(col, row int) (float64, bool) {
 	switch t.cols[col].Type {
 	case TInt:
-		return float64(t.data[col].Ints[row]), true
+		return float64(t.Int(col, row)), true
 	case TFloat:
-		return t.data[col].Floats[row], true
+		return t.Float(col, row), true
 	case TTime:
-		return float64(t.data[col].Times[row]), true
+		return float64(t.TimeMicros(col, row)), true
 	default:
 		return 0, false
 	}

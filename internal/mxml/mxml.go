@@ -46,7 +46,11 @@ type Entry struct {
 // entry simply never does (the pool misses and allocates fresh storage,
 // which is the pre-pool behavior).
 var fieldPool = sync.Pool{
-	New: func() any { return &[]Field{} },
+	// Start at the widest schema any built-in monitor emits (collectl's 17
+	// columns): a pool miss then costs one allocation per record instead of
+	// a 1→2→4→8→16 doubling chain. Sharded parses retain every entry until
+	// the sequenced append, so misses are the common case there.
+	New: func() any { s := make([]Field, 0, 17); return &s },
 }
 
 // NewEntry returns an entry whose field storage may be recycled from a

@@ -546,6 +546,12 @@ load:
 	p.flushRollup(finalLow, true)
 	sp = obs.Begin(selfobs.PipeLive, "checkpoint", "final", "")
 	p.checkpoint()
+	// With a spill-backed warehouse, commit the segment store at the same
+	// cut as the ledger rows just written; a crash after this point loses
+	// nothing from the session. No-op for in-memory warehouses.
+	if err := p.db.Checkpoint(); err != nil {
+		p.recordLoadErr(err)
+	}
 	sp.End(int64(p.rowsTotal.Load()), 0)
 }
 

@@ -174,6 +174,12 @@ func ingestDirParallel(db *mscopedb.DB, logDir, workDir string, plan *Plan, opts
 		if err := db.RecordIngestAt(loaded.Table, j.full, loaded.Rows, j.size, simtime.Epoch); err != nil {
 			return rep, err
 		}
+		// Commit the spill store (no-op in memory): table rows and their
+		// ledger entry become durable together, per file, so a killed
+		// ingest resumes from completed files instead of from scratch.
+		if err := db.Checkpoint(); err != nil {
+			return rep, err
+		}
 		sp.End(int64(loaded.Rows), 0)
 		rep.Loads = append(rep.Loads, loaded)
 	}
@@ -301,6 +307,11 @@ func processChunked(ctx context.Context, sem *semaphore, j *fileJob, cp parsers.
 			}
 		}
 		set := newEntrySet()
+		nf := 0
+		for _, e := range entries {
+			nf += len(e.Fields)
+		}
+		set.reserve(len(entries), nf)
 		for _, e := range entries {
 			if err := set.add(e); err != nil {
 				return fileOutcome{err: err}

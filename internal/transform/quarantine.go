@@ -399,6 +399,11 @@ func IngestDirWithOptions(db *mscopedb.DB, logDir, workDir string, plan *Plan, o
 		if err := db.RecordIngestAt(loaded.Table, full, loaded.Rows, info.Size(), simtime.Epoch); err != nil {
 			return rep, err
 		}
+		// Same per-file durability as the parallel appender: rows and
+		// ledger commit together (no-op for in-memory warehouses).
+		if err := db.Checkpoint(); err != nil {
+			return rep, err
+		}
 		sp.End(int64(loaded.Rows), 0)
 		rep.Loads = append(rep.Loads, loaded)
 	}

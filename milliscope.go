@@ -215,6 +215,15 @@ func OpenDB() *DB { return mscopedb.Open() }
 // LoadDB reads a warehouse saved with (*DB).Save.
 func LoadDB(path string) (*DB, error) { return mscopedb.Load(path) }
 
+// StoreOptions tunes the on-disk segment store (spill threshold,
+// compaction policy). The zero value applies the defaults.
+type StoreOptions = mscopedb.StoreOptions
+
+// OpenDBDir opens (or creates) a warehouse backed by an on-disk
+// segment store in dir. Full segments spill to disk; queries prune
+// them by zone map before decoding.
+func OpenDBDir(dir string, opts StoreOptions) (*DB, error) { return mscopedb.OpenDir(dir, opts) }
+
 // Query runs an MQL statement ("SELECT ... FROM ... [WHERE ...]",
 // "SELECT WINDOW 50ms MAX(rt_us) BY ud FROM apache_event").
 func Query(db *DB, query string) (*QueryOutput, error) { return mql.Run(db, query) }
